@@ -1,0 +1,185 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  (a) tag-type ablation — disable one tag type at a time and check which
+//      attacks survive detection (why the *synergy* of tag types matters);
+//  (b) indirect flows (Figure 1, Section IV) — a lookup-table workload over
+//      network input shows the overtainting blow-up when address
+//      dependencies are propagated, while detection of the actual attacks
+//      is unchanged: the per-security-policy confluence invariant does not
+//      need indirect flows.
+#include "attacks/guest_common.h"
+#include "bench_util.h"
+#include "core/engine.h"
+
+using namespace faros;
+
+namespace {
+
+struct Config {
+  const char* name;
+  core::Options opts;
+};
+
+bool flag_with(attacks::Scenario& sc, const core::Options& opts) {
+  auto run = bench::must_analyze(sc, opts);
+  return run.flagged;
+}
+
+/// Figure-1-style workload: receive 64 bytes, push each through an identity
+/// lookup table, fan the results out into three output rows.
+class LookupScenario final : public attacks::Scenario {
+ public:
+  std::string name() const override { return "lookup-table-workload"; }
+  u64 budget() const override { return 300'000; }
+
+  Result<void> setup(os::Machine& m) override {
+    using vm::Reg;
+    os::ImageBuilder ib("lookup.exe", os::kUserImageBase);
+    auto& a = ib.asm_();
+    a.label("_start");
+    attacks::emit_connect(a, attacks::kAttackerIp, attacks::kAttackerPort);
+    attacks::emit_send_label(a, "req", 2);
+    attacks::emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+    a.mov(Reg::R9, Reg::R0);
+    attacks::emit_recv(a, Reg::R9, 64);
+    a.mov(Reg::R8, Reg::R0);
+    // Identity table.
+    a.movi_label(Reg::R12, "table");
+    a.movi(Reg::R2, 0);
+    a.label("init");
+    a.cmpi(Reg::R2, 256);
+    a.bgeu("init_done");
+    a.add(Reg::R3, Reg::R12, Reg::R2);
+    a.st8(Reg::R3, 0, Reg::R2);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.jmp("init");
+    a.label("init_done");
+    attacks::emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+    a.mov(Reg::R11, Reg::R0);
+    a.movi(Reg::R2, 0);
+    a.label("loop");
+    a.cmp(Reg::R2, Reg::R8);
+    a.bgeu("done");
+    a.add(Reg::R3, Reg::R9, Reg::R2);
+    a.ld8(Reg::R4, Reg::R3, 0);       // tainted input byte
+    a.add(Reg::R5, Reg::R12, Reg::R4);
+    a.ld8(Reg::R6, Reg::R5, 0);       // Figure 1's address dependency
+    a.add(Reg::R3, Reg::R11, Reg::R2);
+    a.st8(Reg::R3, 0, Reg::R6);
+    a.addi(Reg::R7, Reg::R6, 1);
+    a.st8(Reg::R3, 64, Reg::R7);
+    a.xori(Reg::R7, Reg::R6, 5);
+    a.st8(Reg::R3, 128, Reg::R7);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.jmp("loop");
+    a.label("done");
+    a.label("spin");
+    attacks::emit_sys(a, os::Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("req");
+    a.data_str("GO", false);
+    a.align(8);
+    a.label("table");
+    a.zeros(256);
+    auto img = ib.build();
+    if (!img.ok()) return Err<void>(img.error().message);
+    m.kernel().vfs().create("C:/lookup.exe", img.value().serialize());
+    auto pid = m.kernel().spawn("C:/lookup.exe");
+    if (!pid.ok()) return Err<void>(pid.error().message);
+    return Ok();
+  }
+
+  std::unique_ptr<os::EventSource> make_source() override {
+    auto c2 = std::make_unique<attacks::C2Server>();
+    Bytes input(64);
+    for (size_t i = 0; i < input.size(); ++i) {
+      input[i] = static_cast<u8>(i * 3 + 1);
+    }
+    c2->queue_response(std::move(input));
+    return c2;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation (a) — tag types vs attack classes");
+
+  core::Options base;
+  core::Options no_netflow = base;
+  no_netflow.track_netflow = false;
+  core::Options no_process = base;
+  no_process.track_process = false;
+  core::Options no_file = base;
+  no_file.track_file = false;
+  no_file.taint_mapped_images = false;
+  core::Options no_export = base;
+  no_export.track_export = false;
+
+  Config configs[] = {
+      {"full FAROS", base},           {"- netflow tags", no_netflow},
+      {"- process tags", no_process}, {"- file tags", no_file},
+      {"- export tags", no_export},
+  };
+
+  std::printf("%-16s %-24s %-20s\n", "configuration", "reflective (network)",
+              "hollowing (file-borne)");
+  bool ok = true;
+  for (const auto& cfg : configs) {
+    attacks::ReflectiveDllScenario refl(
+        attacks::ReflectiveVariant::kMeterpreter);
+    attacks::HollowingScenario hollow;
+    bool r = flag_with(refl, cfg.opts);
+    bool h = flag_with(hollow, cfg.opts);
+    std::printf("%-16s %-24s %-20s\n", cfg.name, r ? "flagged" : "MISSED",
+                h ? "flagged" : "MISSED");
+    if (std::string(cfg.name) == "full FAROS") ok &= r && h;
+    if (std::string(cfg.name) == "- export tags") ok &= !r && !h;
+    if (std::string(cfg.name) == "- netflow tags") ok &= h;  // file path holds
+  }
+  std::printf("expected shape: full config catches both; removing export "
+              "tags blinds everything (the confluence anchor); removing "
+              "netflow still catches the file-borne hollowing.\n");
+
+  bench::heading(
+      "Ablation (b) — indirect flows: Figure 1 lookup table over network "
+      "input");
+
+  core::Options quiet;
+  quiet.taint_mapped_images = false;  // isolate the effect
+  core::Options addr_on = quiet;
+  addr_on.propagate_address_deps = true;
+
+  LookupScenario lookup_off, lookup_on;
+  auto off_run = bench::must_analyze(lookup_off, quiet);
+  auto on_run = bench::must_analyze(lookup_on, addr_on);
+
+  std::printf("%-28s %16s %16s %10s\n", "mode", "tainted bytes",
+              "distinct lists", "flagged");
+  std::printf("%-28s %16llu %16zu %10s\n", "per-policy (paper default)",
+              static_cast<unsigned long long>(off_run.tainted_bytes),
+              off_run.prov_lists, off_run.flagged ? "yes" : "no");
+  std::printf("%-28s %16llu %16zu %10s\n", "+ address dependencies",
+              static_cast<unsigned long long>(on_run.tainted_bytes),
+              on_run.prov_lists, on_run.flagged ? "yes" : "no");
+
+  double blowup = static_cast<double>(on_run.tainted_bytes) /
+                  std::max<u64>(off_run.tainted_bytes, 1);
+  std::printf("\novertainting blow-up: %.2fx tainted bytes — the outputs of "
+              "every table lookup become tainted (and would keep "
+              "compounding in a real system)\n",
+              blowup);
+  ok &= blowup > 2.0 && !off_run.flagged && !on_run.flagged;
+
+  // Detection of the actual attack is identical in both modes: the
+  // confluence invariant never needed indirect flows.
+  attacks::ReflectiveDllScenario refl(
+      attacks::ReflectiveVariant::kMeterpreter);
+  bool flagged_with_addr = flag_with(refl, addr_on);
+  std::printf("reflective injection with address deps ON: %s (unchanged)\n",
+              flagged_with_addr ? "flagged" : "MISSED");
+  ok &= flagged_with_addr;
+
+  std::printf("result: %s\n", ok ? "REPRODUCED" : "REPRODUCTION FAILURE");
+  return ok ? 0 : 1;
+}

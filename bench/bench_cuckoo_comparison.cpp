@@ -1,0 +1,97 @@
+// Reproduces Section VI-B: comparison with CuckooBox (+ Volatility/malfind).
+// For each attack class we run the sandbox baseline and FAROS and compare:
+//   * event-based Cuckoo alone never flags in-memory injection;
+//   * malfind finds *resident* injected regions in the dump but yields no
+//     provenance (no netflow, no injector linkage);
+//   * malfind misses the *transient* variant that wipes itself;
+//   * FAROS flags every case and provides the full provenance chain.
+#include <memory>
+
+#include "baselines/cuckoo.h"
+#include "bench_util.h"
+
+using namespace faros;
+
+namespace {
+
+struct Row {
+  std::string name;
+  bool cuckoo_event = false;
+  bool cuckoo_malfind = false;
+  bool faros = false;
+  bool faros_provenance = false;
+};
+
+Row evaluate(attacks::Scenario& sc) {
+  Row row;
+  row.name = sc.name();
+  // Cuckoo side: live run with the monitor, dump at the end.
+  {
+    os::Machine m;
+    baselines::CuckooSandboxSim cuckoo;
+    m.add_monitor(&cuckoo);
+    if (!m.boot().ok()) std::exit(1);
+    auto source = sc.make_source();
+    if (source) m.set_event_source(source.get());
+    if (!sc.setup(m).ok()) std::exit(1);
+    m.run(sc.budget());
+    auto dump = baselines::CuckooSandboxSim::take_memory_dump(m.kernel());
+    row.cuckoo_event = cuckoo.behavioral_verdict();
+    row.cuckoo_malfind = !baselines::malfind(dump).empty();
+  }
+  // FAROS side: record + replay under the taint engine.
+  auto run = bench::must_analyze(sc);
+  row.faros = run.flagged;
+  for (const auto& f : run.findings) {
+    if (f.fetch_prov != core::kEmptyProv) row.faros_provenance = true;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Section VI-B — FAROS vs CuckooBox (+ malfind)");
+
+  std::vector<std::unique_ptr<attacks::Scenario>> scenarios;
+  scenarios.push_back(std::make_unique<attacks::ReflectiveDllScenario>(
+      attacks::ReflectiveVariant::kMeterpreter));
+  scenarios.push_back(std::make_unique<attacks::ReflectiveDllScenario>(
+      attacks::ReflectiveVariant::kMeterpreter, /*transient=*/true));
+  scenarios.push_back(std::make_unique<attacks::HollowingScenario>());
+  scenarios.push_back(
+      std::make_unique<attacks::RatInjectionScenario>("darkcomet"));
+
+  const char* labels[] = {
+      "reflective DLL inject (resident)",
+      "reflective DLL inject (transient)",
+      "process hollowing",
+      "code injection (RAT)",
+  };
+
+  std::printf("%-36s %-14s %-16s %-8s %s\n", "attack", "cuckoo-events",
+              "cuckoo+malfind", "FAROS", "FAROS provenance");
+  int i = 0;
+  bool ok = true;
+  for (auto& sc : scenarios) {
+    Row row = evaluate(*sc);
+    std::printf("%-36s %-14s %-16s %-8s %s\n", labels[i],
+                row.cuckoo_event ? "detected" : "blind",
+                row.cuckoo_malfind ? "detected" : "MISSED",
+                row.faros ? "FLAGGED" : "missed",
+                row.faros_provenance ? "full chain" : "-");
+    // Expected shape per the paper:
+    ok &= !row.cuckoo_event;          // event-based always blind
+    ok &= row.faros;                  // FAROS always flags
+    ok &= row.faros_provenance;       // ...with provenance
+    if (i == 1) ok &= !row.cuckoo_malfind;  // transient evades the dump
+    if (i == 0 || i == 2) ok &= row.cuckoo_malfind;  // resident is found
+    ++i;
+  }
+
+  std::printf("\npaper shape: cuckoo alone cannot flag; malfind flags "
+              "resident injections only (and knows nothing about their "
+              "origin); FAROS flags all, with provenance\n");
+  std::printf("result: %s\n", ok ? "REPRODUCED" : "REPRODUCTION FAILURE");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figures 7, 8 and 9: provenance tracking for the three
+// Metasploit reflective-DLL-injection modules. For each variant we print
+// the flagged instruction, the provenance list of its bytes, and the
+// provenance of the export-table read — the two chains the paper draws.
+#include "bench_util.h"
+#include "core/report.h"
+
+using namespace faros;
+
+namespace {
+
+void run_variant(attacks::ReflectiveVariant variant, const char* figure,
+                 const char* module, const char* expected_chain,
+                 int* failures) {
+  attacks::ReflectiveDllScenario sc(variant);
+  auto run = bench::must_analyze(sc);
+  std::printf("\n--- %s: Metasploit module `%s` ---\n", figure, module);
+  std::printf("paper shape: %s\n", expected_chain);
+  if (run.findings.empty()) {
+    std::printf("measured: NOT FLAGGED (reproduction failure)\n");
+    ++*failures;
+    return;
+  }
+  // Re-render via an engine-independent path: the findings carry list ids
+  // into the analyzed run's report, so print the first finding in full.
+  std::printf("measured:\n%s", run.report.c_str());
+  std::printf("netflow-policy findings: ");
+  int n = 0;
+  for (const auto& f : run.findings) {
+    if (f.policy == "netflow-export-confluence") ++n;
+  }
+  std::printf("%d\n", n);
+  if (n == 0) ++*failures;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Figures 7-9 — provenance tracking for reflective DLL injection");
+  int failures = 0;
+  run_variant(attacks::ReflectiveVariant::kMeterpreter, "Figure 7",
+              "reflective_dll_inject",
+              "NetFlow{...:4444 -> ...:49162} -> inject_client.exe -> "
+              "notepad.exe, reading an ExportTable-tagged address",
+              &failures);
+  run_variant(attacks::ReflectiveVariant::kReverseTcpDns, "Figure 8",
+              "reverse_tcp_dns",
+              "NetFlow -> inject_client.exe (shellcode and target are the "
+              "same process), reading an ExportTable-tagged address",
+              &failures);
+  run_variant(attacks::ReflectiveVariant::kBypassUac, "Figure 9",
+              "bypassuac_injection",
+              "NetFlow -> inject_client.exe -> firefox.exe, reading an "
+              "ExportTable-tagged address",
+              &failures);
+  std::printf("\nresult: %s (3 variants, %d failure(s))\n",
+              failures == 0 ? "ALL FLAGGED" : "REPRODUCTION FAILURE",
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the DIFT engine's hot paths:
+// interned provenance-list operations, shadow-memory access, and the raw
+// interpreter with and without the taint plugin attached — the per-
+// instruction cost that Table V's macro numbers are made of.
+#include <benchmark/benchmark.h>
+
+#include "attacks/guest_common.h"
+#include "core/engine.h"
+#include "os/machine.h"
+
+using namespace faros;
+
+namespace {
+
+void BM_ProvStoreAppend(benchmark::State& state) {
+  core::ProvStore store;
+  core::ProvListId id = store.intern({core::ProvTag::netflow(0)});
+  u16 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.append(id, core::ProvTag::process(i)));
+    i = static_cast<u16>((i + 1) % 64);
+  }
+}
+BENCHMARK(BM_ProvStoreAppend);
+
+void BM_ProvStoreMergeMemoized(benchmark::State& state) {
+  core::ProvStore store;
+  auto a = store.intern({core::ProvTag::netflow(0), core::ProvTag::process(1)});
+  auto b = store.intern({core::ProvTag::file(2), core::ProvTag::process(3)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.merge(a, b));
+  }
+}
+BENCHMARK(BM_ProvStoreMergeMemoized);
+
+void BM_ShadowMemorySetGet(benchmark::State& state) {
+  core::ShadowMemory shadow;
+  u64 addr = 0;
+  for (auto _ : state) {
+    shadow.set(addr & 0xffff, 1);
+    benchmark::DoNotOptimize(shadow.get((addr + 8) & 0xffff));
+    ++addr;
+  }
+}
+BENCHMARK(BM_ShadowMemorySetGet);
+
+/// A compute-heavy guest workload for interpreter throughput.
+void setup_spinner(os::Machine& m) {
+  os::ImageBuilder ib("spin.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  a.movi(vm::R1, 0);
+  a.movi(vm::R2, 3);
+  a.label("loop");
+  a.mul(vm::R2, vm::R2, vm::R2);
+  a.addi(vm::R2, vm::R2, 7);
+  a.addi(vm::R1, vm::R1, 1);
+  a.jmp("loop");
+  auto img = ib.build();
+  m.kernel().vfs().create("C:/spin.exe", img.value().serialize());
+  (void)m.kernel().spawn("C:/spin.exe");
+}
+
+void BM_InterpreterBare(benchmark::State& state) {
+  os::Machine m;
+  (void)m.boot();
+  setup_spinner(m);
+  for (auto _ : state) {
+    m.run(100000);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InterpreterBare)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterWithFaros(benchmark::State& state) {
+  os::Machine m;
+  core::FarosEngine engine(m.kernel(), core::Options{});
+  m.attach_cpu_plugin(&engine);
+  m.add_monitor(&engine);
+  (void)m.boot();
+  setup_spinner(m);
+  for (auto _ : state) {
+    m.run(100000);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InterpreterWithFaros)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces Table IV + the headline false-positive analysis: 90
+// non-injecting malware samples (the 17 families expanded with variants)
+// and 14 benign applications, each executing its behaviour grid. FAROS
+// must flag none of them (0% FP on this battery; the only FPs in the whole
+// evaluation are the Table III JIT workloads).
+#include "attacks/datasets.h"
+#include "bench_util.h"
+
+using namespace faros;
+
+namespace {
+
+int run_battery(const std::vector<attacks::SampleSpec>& samples,
+                const char* label, int* false_positives) {
+  std::printf("\n--- %s (%zu samples) ---\n", label, samples.size());
+  std::printf("%-28s %-44s %s\n", "sample", "behaviours", "flagged");
+  int failures = 0;
+  for (const auto& s : samples) {
+    std::string behaviours;
+    for (auto b : s.behaviors) {
+      if (!behaviours.empty()) behaviours += ",";
+      behaviours += attacks::behavior_name(b);
+    }
+    attacks::BehaviorScenario sc(s.name + ".exe", s.behaviors);
+    auto run = bench::must_analyze(sc);
+    if (run.flagged) {
+      ++*false_positives;
+      ++failures;
+    }
+    if (!run.replayed.stats.all_exited) ++failures;  // sample must finish
+    std::printf("%-28s %-44s %s\n", s.name.c_str(), behaviours.c_str(),
+                run.flagged ? "YES (FP!)" : "no");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading(
+      "Table IV — non-injecting malware battery + benign software");
+
+  int fps = 0;
+  int failures = 0;
+  failures += run_battery(attacks::table4_full_battery(),
+                          "real-world malware (non-injecting)", &fps);
+  failures += run_battery(attacks::table4_benign(), "benign software", &fps);
+
+  size_t total =
+      attacks::table4_full_battery().size() + attacks::table4_benign().size();
+  std::printf("\npaper: 0%% false positives on 90 non-injecting malware + 14 "
+              "benign applications\n");
+  std::printf("measured: %d false positives on %zu samples (%.1f%%)\n", fps,
+              total, 100.0 * fps / static_cast<double>(total));
+  std::printf("overall evaluation FP rate incl. Table III JIT workloads: "
+              "%d+2 of %zu+20 = %.1f%% (paper: 2%%)\n",
+              fps, total,
+              100.0 * (fps + 2) / static_cast<double>(total + 20));
+  std::printf("result: %s\n",
+              failures == 0 ? "REPRODUCED" : "REPRODUCTION FAILURE");
+  return failures == 0 ? 0 : 1;
+}

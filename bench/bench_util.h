@@ -1,0 +1,43 @@
+// Shared helpers for the experiment-reproduction benches: each binary
+// regenerates one table or figure of the paper and prints it in a shape
+// comparable to the original.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attacks/scenarios.h"
+
+namespace faros::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Wall-clock seconds for `fn()`.
+template <typename Fn>
+double time_s(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Analyze a scenario and abort loudly on harness errors (a bench must not
+/// silently report a half-run experiment).
+inline attacks::AnalyzedRun must_analyze(attacks::Scenario& sc,
+                                         const core::Options& opts = {}) {
+  auto run = attacks::analyze(sc, opts);
+  if (!run.ok()) {
+    std::fprintf(stderr, "FATAL: scenario '%s' failed: %s\n",
+                 sc.name().c_str(), run.error().message.c_str());
+    std::exit(1);
+  }
+  return std::move(run).take();
+}
+
+}  // namespace faros::bench

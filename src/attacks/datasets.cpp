@@ -1,0 +1,152 @@
+#include "attacks/datasets.h"
+
+namespace faros::attacks {
+
+using B = Behavior;
+
+std::vector<JitWorkload> table3_workloads() {
+  // Java applets (http://www.walter-fendt.de/ph14e/ physics simulations).
+  // Two of them — like 2 of the paper's 20 workloads (10% of the applets) —
+  // link a runtime helper through the export tables from code that arrived
+  // over the network; the rest are pure-compute translations.
+  std::vector<JitWorkload> out = {
+      {"acceleration", "java.exe", false},
+      {"equilibrium", "java.exe", false},
+      {"pulleysystem", "java.exe", true},   // flagged in our run
+      {"projectile", "java.exe", false},
+      {"ncradle", "java.exe", false},
+      {"keplerlaw1", "java.exe", false},
+      {"inclplane", "java.exe", false},
+      {"lever", "java.exe", false},
+      {"keplerlaw2", "java.exe", false},
+      {"collision", "java.exe", true},      // flagged in our run
+      // AJAX websites: scripted UI logic, no runtime linking.
+      {"gmail.com", "browser.exe", false},
+      {"maps.google.com", "browser.exe", false},
+      {"kayak.com", "browser.exe", false},
+      {"netflix.com-top100", "browser.exe", false},
+      {"kiko.com", "browser.exe", false},
+      {"backpackit.com", "browser.exe", false},
+      {"sudokucarving.com", "browser.exe", false},
+      {"pressdisplay.com", "browser.exe", false},
+      {"rpad.com", "browser.exe", false},
+      {"brainking.com", "browser.exe", false},
+  };
+  return out;
+}
+
+std::vector<SampleSpec> table4_families() {
+  // Behaviour grids transcribed from Table IV (17 families). None injects.
+  return {
+      {"Pandora v2.2", "Pandora", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kFileTransfer, B::kKeylogger,
+        B::kRemoteDesktop, B::kUpload}},
+      {"Darkcomet v5.3", "Darkcomet", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kKeylogger, B::kRemoteDesktop,
+        B::kDownload}},
+      {"Njrat v0.7", "Njrat", false,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kKeylogger, B::kUpload,
+        B::kRemoteShell}},
+      {"Spygate v3.2", "Spygate", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kFileTransfer, B::kKeylogger,
+        B::kRemoteDesktop, B::kDownload}},
+      {"Blue Banana", "Blue Banana", false,
+       {B::kIdle, B::kRun, B::kDownload, B::kRemoteShell}},
+      {"Blue Banana v2.0", "Blue Banana", false,
+       {B::kIdle, B::kRun, B::kDownload, B::kRemoteShell}},
+      {"Blue Banana v3.0", "Blue Banana", false,
+       {B::kIdle, B::kRun, B::kDownload, B::kRemoteShell}},
+      {"Bozok", "Bozok", false,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kKeylogger, B::kUpload,
+        B::kDownload}},
+      {"Bozok v2.0", "Bozok", false,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kKeylogger, B::kUpload,
+        B::kDownload}},
+      {"Bozok v3.0", "Bozok", false,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kKeylogger, B::kUpload,
+        B::kDownload}},
+      {"DarkComet v5.1.2", "Darkcomet", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kKeylogger, B::kRemoteDesktop,
+        B::kDownload}},
+      {"DarkComet legacy", "Darkcomet", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kKeylogger, B::kRemoteDesktop,
+        B::kDownload}},
+      {"Extremerat v2.7.1", "Extremerat", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kFileTransfer, B::kKeylogger,
+        B::kRemoteDesktop, B::kRemoteShell}},
+      {"Jspy", "Jspy", false,
+       {B::kIdle, B::kRun, B::kKeylogger, B::kUpload}},
+      {"Jspy v2.0", "Jspy", false,
+       {B::kIdle, B::kRun, B::kKeylogger, B::kUpload}},
+      {"Jspy v3.0", "Jspy", false,
+       {B::kIdle, B::kRun, B::kKeylogger, B::kUpload}},
+      {"Quasar v1.0", "Quasar", false,
+       {B::kIdle, B::kRun, B::kRemoteShell}},
+  };
+}
+
+std::vector<SampleSpec> table4_benign() {
+  return {
+      {"Remote Utility", "benign", true,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kRemoteDesktop,
+        B::kDownload}},
+      {"TeamViewer", "benign", true,
+       {B::kIdle, B::kRun, B::kRemoteDesktop}},
+      {"Win7-snipping tool", "benign", true,
+       {B::kIdle, B::kRun, B::kFileTransfer}},
+      {"Skype", "benign", true,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kFileTransfer}},
+      {"Chrome", "benign", true, {B::kIdle, B::kRun, B::kDownload}},
+      {"Firefox", "benign", true, {B::kIdle, B::kRun, B::kDownload}},
+      {"Notepad++", "benign", true, {B::kIdle, B::kFileTransfer}},
+      {"7-Zip", "benign", true, {B::kIdle, B::kRun}},
+      {"VLC", "benign", true, {B::kIdle, B::kAudioRecord}},
+      {"Word", "benign", true, {B::kIdle, B::kFileTransfer}},
+      {"Excel", "benign", true, {B::kIdle, B::kFileTransfer}},
+      {"Outlook", "benign", true,
+       {B::kIdle, B::kUpload, B::kDownload}},
+      {"Spotify", "benign", true, {B::kIdle, B::kDownload}},
+      {"Dropbox", "benign", true,
+       {B::kIdle, B::kUpload, B::kDownload}},
+  };
+}
+
+std::vector<SampleSpec> table4_full_battery() {
+  // Expand the 17 families to the paper's 90 samples with hash variants
+  // (same behaviour profile, distinct sample identity).
+  std::vector<SampleSpec> out;
+  auto families = table4_families();
+  size_t i = 0;
+  while (out.size() < 90) {
+    const SampleSpec& base = families[i % families.size()];
+    SampleSpec s = base;
+    u32 variant = static_cast<u32>(i / families.size()) + 1;
+    if (variant > 1) {
+      s.name = base.name + " (s" + std::to_string(variant) + ")";
+    }
+    out.push_back(std::move(s));
+    ++i;
+  }
+  return out;
+}
+
+std::vector<SampleSpec> table5_apps() {
+  // The six applications of Table V, heaviest first as in the paper.
+  return {
+      {"Skype", "benign", true,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kFileTransfer, B::kDownload,
+        B::kRemoteDesktop}},
+      {"Team Viewer", "benign", true,
+       {B::kIdle, B::kRun, B::kRemoteDesktop, B::kDownload}},
+      {"Bozok", "Bozok", false,
+       {B::kIdle, B::kKeylogger, B::kUpload}},
+      {"Spygate", "Spygate", false,
+       {B::kIdle, B::kRun, B::kAudioRecord, B::kKeylogger, B::kDownload}},
+      {"Pandora", "Pandora", false, {B::kIdle, B::kUpload}},
+      {"Remote Utility", "benign", true,
+       {B::kIdle, B::kRun, B::kFileTransfer, B::kRemoteDesktop, B::kDownload,
+        B::kRemoteShell}},
+  };
+}
+
+}  // namespace faros::attacks

@@ -1,0 +1,47 @@
+// Evaluation datasets mirroring the paper:
+//  * Table III — 10 Java applets + 10 AJAX websites; exactly two applets
+//    perform runtime linking from network-derived code (the 10% applet /
+//    2-of-20 false-positive result).
+//  * Table IV — the 17 malware families with their behaviour grids,
+//    expanded with version variants to the paper's 90 non-injecting
+//    samples, plus 14 benign applications.
+//  * Table V — the six applications whose replay overhead the paper
+//    measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/programs.h"
+
+namespace faros::attacks {
+
+struct JitWorkload {
+  std::string name;   // "acceleration", "gmail.com", ...
+  std::string host;   // "java.exe" or "browser.exe"
+  bool linking;       // resolves helpers via export tables (FP shape)
+};
+
+/// The 20 Table III workloads (10 applets, 10 AJAX sites; 2 linking).
+std::vector<JitWorkload> table3_workloads();
+
+struct SampleSpec {
+  std::string name;                 // "Bozok v2.0 (s3)"
+  std::string family;               // "Bozok"
+  bool benign;                      // Table IV bottom block
+  std::vector<Behavior> behaviors;
+};
+
+/// The 17 Table IV malware families (one spec each, base behaviours).
+std::vector<SampleSpec> table4_families();
+
+/// The 14 benign applications.
+std::vector<SampleSpec> table4_benign();
+
+/// The full 90-sample malware battery: families expanded with variants.
+std::vector<SampleSpec> table4_full_battery();
+
+/// The six Table V performance applications (name -> behaviours).
+std::vector<SampleSpec> table5_apps();
+
+}  // namespace faros::attacks

@@ -1,0 +1,64 @@
+// Shared guest-code emitters used by every workload and attack program:
+// syscall invocation, C2 connection boilerplate, and the inline export-table
+// walk that reflective payloads use to link themselves (the detection
+// surface of the whole reproduction).
+#pragma once
+
+#include <string>
+
+#include "os/syscalls.h"
+#include "vm/assembler.h"
+
+namespace faros::attacks {
+
+/// Default attacker endpoint (paper Table II: 169.254.26.161:4444).
+inline constexpr u32 kAttackerIp = 0xa9fe1aa1;  // 169.254.26.161
+inline constexpr u16 kAttackerPort = 4444;
+
+/// Emits `movi r0, <num>; syscall` — args must already be in r1..r4.
+/// Result lands in r0.
+void emit_sys(vm::Assembler& a, os::Sys num);
+
+/// Emits: r10 = socket handle, connected to (ip, port).
+/// Clobbers r0..r3.
+void emit_connect(vm::Assembler& a, u32 ip, u16 port);
+
+/// Emits: send `len` bytes at label `data_label` over socket in r10
+/// (non-PIC: uses the absolute label address). Clobbers r0..r3.
+void emit_send_label(vm::Assembler& a, const std::string& data_label,
+                     u32 len);
+
+/// Emits: blocking recv into `buf_reg` (a register holding the buffer
+/// address), up to `cap` bytes, over socket in r10; received length in r0.
+void emit_recv(vm::Assembler& a, vm::Reg buf_reg, u32 cap);
+
+/// Emits: r0 = NtAllocateVirtualMemory(pid_reg or self, len, prot).
+/// Pass vm::Reg(0xff)... use pid_reg = r0 meaning self? Callers load r1
+/// themselves; this helper allocates in the *calling* process.
+void emit_alloc_self(vm::Assembler& a, u32 len, u32 prot);
+
+/// Emits an inline, position-independent export-table walk: resolves
+/// `module!symbol` by scanning the kernel module directory and the module's
+/// export table with guest LD32 instructions, leaving the resolved address
+/// in r0 (0 if not found). Clobbers r1..r5. `prefix` uniquifies labels.
+///
+/// When these instructions execute from network- or foreign-process-tainted
+/// memory, the final LD32 (which reads the export-table-tagged function
+/// pointer) is exactly the tag confluence FAROS flags.
+void emit_export_walk(vm::Assembler& a, const std::string& prefix,
+                      u32 module_hash, u32 symbol_hash);
+
+/// Emits a bounded busy/yield loop (keeps a benign process alive and
+/// scheduled without blocking).
+void emit_yield_loop(vm::Assembler& a, const std::string& prefix,
+                     u32 iterations);
+
+/// Emits a pure-compute loop (`iterations` rounds of multiply/add/shift) —
+/// models an application's event loop doing real work. Clobbers r5-r7, r11.
+void emit_busy_loop(vm::Assembler& a, const std::string& prefix,
+                    u32 iterations);
+
+/// Emits NtExit(code).
+void emit_exit(vm::Assembler& a, u32 code = 0);
+
+}  // namespace faros::attacks

@@ -1,0 +1,125 @@
+#include "baselines/cuckoo.h"
+
+#include "common/strings.h"
+
+namespace faros::baselines {
+
+void CuckooSandboxSim::on_syscall(const osi::SyscallEvent& ev) {
+  syscalls_.push_back(
+      SyscallRecord{ev.proc.pid, ev.proc.name, ev.number, ev.name});
+}
+
+void CuckooSandboxSim::on_process_start(const osi::ProcessInfo& p) {
+  procs_.push_back(strf("start pid=%u name=%s parent=%u", p.pid,
+                        p.name.c_str(), p.parent_pid));
+}
+
+void CuckooSandboxSim::on_process_exit(const osi::ProcessInfo& p, u32 code) {
+  procs_.push_back(strf("exit pid=%u name=%s code=%u", p.pid, p.name.c_str(),
+                        code));
+}
+
+void CuckooSandboxSim::on_file_read(const osi::GuestXfer& x, u32,
+                                    const std::string& path, u32, u32) {
+  files_.push_back(FileRecord{x.proc.pid, x.proc.name, "read", path, x.len});
+}
+
+void CuckooSandboxSim::on_file_write(const osi::GuestXfer& x, u32,
+                                     const std::string& path, u32, u32) {
+  files_.push_back(FileRecord{x.proc.pid, x.proc.name, "write", path, x.len});
+  // Dropping an executable to disk IS an easily observable event.
+  if (ends_with(path, ".exe") || ends_with(path, ".dll")) {
+    dropped_executable_ = true;
+  }
+}
+
+void CuckooSandboxSim::on_packet_to_guest(const osi::GuestXfer& x,
+                                          const FlowTuple& flow,
+                                          const osi::PacketMeta&) {
+  netflows_.push_back(NetRecord{x.proc.pid, x.proc.name, false, flow, x.len});
+}
+
+void CuckooSandboxSim::on_guest_send(const osi::GuestXfer& x,
+                                     const FlowTuple& flow,
+                                     const osi::PacketMeta&) {
+  netflows_.push_back(NetRecord{x.proc.pid, x.proc.name, true, flow, x.len});
+}
+
+void CuckooSandboxSim::on_module_loaded(const osi::ModuleInfo& mod,
+                                        const vm::AddressSpace&) {
+  dlls_.push_back(mod.name);
+}
+
+void CuckooSandboxSim::on_debug_print(const osi::ProcessInfo& p,
+                                      const std::string& text) {
+  console_.push_back(p.name + ": " + text);
+}
+
+bool CuckooSandboxSim::behavioral_verdict() const {
+  // Reflective loading registers no DLL and in-memory attacks drop nothing
+  // to disk; those are the only artifacts an event-based sandbox treats as
+  // injection evidence.
+  return dropped_executable_;
+}
+
+MemoryDump CuckooSandboxSim::take_memory_dump(os::Kernel& kernel) {
+  MemoryDump dump;
+  dump.taken_at_instr = kernel.interp().instr_count();
+  for (const auto& info : kernel.process_list()) {
+    const os::Process* p = kernel.find(info.pid);
+    if (!p) continue;
+    ProcessDump pd;
+    pd.proc = info;
+    pd.alive = p->alive();
+    pd.regions = p->regions;
+    if (pd.alive) {
+      for (const auto& region : p->regions) {
+        Bytes content(region.len, 0);
+        auto r = p->as.copy_out(region.base, content, /*user=*/false);
+        if (!r.ok()) content.clear();
+        pd.contents.push_back(std::move(content));
+      }
+    }
+    dump.processes.push_back(std::move(pd));
+  }
+  return dump;
+}
+
+std::vector<std::string> pslist(const MemoryDump& dump) {
+  std::vector<std::string> out;
+  for (const auto& pd : dump.processes) {
+    out.push_back(strf("%u %s %s", pd.proc.pid, pd.proc.name.c_str(),
+                       pd.alive ? "alive" : "terminated"));
+  }
+  return out;
+}
+
+std::vector<os::Region> vadinfo(const MemoryDump& dump, u32 pid) {
+  for (const auto& pd : dump.processes) {
+    if (pd.proc.pid == pid) return pd.regions;
+  }
+  return {};
+}
+
+std::vector<MalfindHit> malfind(const MemoryDump& dump, u32 min_live_bytes) {
+  std::vector<MalfindHit> hits;
+  for (const auto& pd : dump.processes) {
+    if (!pd.alive) continue;  // dead address spaces are gone
+    for (size_t i = 0; i < pd.regions.size(); ++i) {
+      const os::Region& region = pd.regions[i];
+      if (region.kind != os::Region::Kind::kAlloc) continue;
+      if (!(region.prot & os::kProtExec)) continue;
+      if (i >= pd.contents.size() || pd.contents[i].empty()) continue;
+      u32 live = 0;
+      for (u8 b : pd.contents[i]) {
+        if (b != 0) ++live;
+      }
+      if (live < min_live_bytes) continue;  // wiped/transient: invisible
+      hits.push_back(MalfindHit{pd.proc.pid, pd.proc.name, region.base,
+                                region.len, live});
+    }
+  }
+  return hits;
+}
+
+}  // namespace faros::baselines

@@ -1,0 +1,106 @@
+#include "baselines/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace faros::baselines {
+
+std::vector<std::string> netscan(const CuckooSandboxSim& cuckoo) {
+  struct Conn {
+    u64 tx = 0;
+    u64 rx = 0;
+    std::string proc;
+  };
+  // Key connections by the normalized (guest endpoint, remote endpoint).
+  std::map<std::string, Conn> conns;
+  for (const auto& n : cuckoo.netflows()) {
+    std::string guest = n.outbound
+                            ? ipv4_to_string(n.flow.src_ip) + ":" +
+                                  std::to_string(n.flow.src_port)
+                            : ipv4_to_string(n.flow.dst_ip) + ":" +
+                                  std::to_string(n.flow.dst_port);
+    std::string remote = n.outbound
+                             ? ipv4_to_string(n.flow.dst_ip) + ":" +
+                                   std::to_string(n.flow.dst_port)
+                             : ipv4_to_string(n.flow.src_ip) + ":" +
+                                   std::to_string(n.flow.src_port);
+    Conn& c = conns[guest + " <-> " + remote];
+    if (n.outbound) {
+      c.tx += n.len;
+    } else {
+      c.rx += n.len;
+    }
+    if (c.proc.empty()) c.proc = n.proc;
+  }
+  std::vector<std::string> out;
+  for (const auto& [key, c] : conns) {
+    out.push_back(strf("tcp %s  tx %lluB rx %lluB  (%s)", key.c_str(),
+                       static_cast<unsigned long long>(c.tx),
+                       static_cast<unsigned long long>(c.rx),
+                       c.proc.c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> dlllist(const CuckooSandboxSim& cuckoo) {
+  return cuckoo.registered_dlls();
+}
+
+std::vector<std::pair<std::string, u32>> syscall_histogram(
+    const CuckooSandboxSim& cuckoo) {
+  std::map<std::string, u32> counts;
+  for (const auto& s : cuckoo.syscalls()) ++counts[s.name];
+  std::vector<std::pair<std::string, u32>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::string render_sandbox_report(const CuckooSandboxSim& cuckoo,
+                                  const MemoryDump& dump) {
+  std::string out;
+  out += "==== sandbox report ====\n";
+
+  out += "\n[processes]\n";
+  for (const auto& line : cuckoo.process_events()) out += "  " + line + "\n";
+
+  out += "\n[syscalls] (top 10)\n";
+  auto hist = syscall_histogram(cuckoo);
+  for (size_t i = 0; i < hist.size() && i < 10; ++i) {
+    out += strf("  %-28s %u\n", hist[i].first.c_str(), hist[i].second);
+  }
+
+  out += "\n[files]\n";
+  for (const auto& f : cuckoo.files()) {
+    out += strf("  %-5s %-36s %4uB  (%s)\n", f.op.c_str(), f.path.c_str(),
+                f.len, f.proc.c_str());
+  }
+
+  out += "\n[network]\n";
+  for (const auto& line : netscan(cuckoo)) out += "  " + line + "\n";
+
+  out += "\n[modules]\n";
+  for (const auto& m : dlllist(cuckoo)) out += "  " + m + "\n";
+
+  out += "\n[volatility] pslist\n";
+  for (const auto& line : pslist(dump)) out += "  " + line + "\n";
+  out += "\n[volatility] malfind\n";
+  auto hits = malfind(dump);
+  if (hits.empty()) out += "  (no hits)\n";
+  for (const auto& h : hits) {
+    out += strf("  pid %u (%s): private+exec region %s (+%u), %u live "
+                "bytes — origin UNKNOWN\n",
+                h.pid, h.proc.c_str(), hex32(h.base).c_str(), h.len,
+                h.live_bytes);
+  }
+
+  out += strf("\nbehavioural verdict: %s\n",
+              cuckoo.behavioral_verdict() ? "suspicious (artifact on disk)"
+                                          : "no injection artifact observed");
+  return out;
+}
+
+}  // namespace faros::baselines

@@ -1,0 +1,30 @@
+// Sandbox report rendering: the textual report a CuckooBox analyst reads —
+// process tree, syscall statistics, file activity, network connections,
+// loaded DLLs, and the Volatility pass over the final dump. Rendering this
+// next to the FAROS report makes the paper's comparison concrete: a wall
+// of events on one side, one provenance chain on the other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/cuckoo.h"
+
+namespace faros::baselines {
+
+/// Connection summary lines ("tcp 169.254.57.168:49162 -> 169.254.26.161:
+/// 4444  tx 612B rx 640B  (inject_client.exe)") — the netscan analogue.
+std::vector<std::string> netscan(const CuckooSandboxSim& cuckoo);
+
+/// Loaded-module lines (dlllist analogue).
+std::vector<std::string> dlllist(const CuckooSandboxSim& cuckoo);
+
+/// Per-syscall-name invocation counts, most frequent first.
+std::vector<std::pair<std::string, u32>> syscall_histogram(
+    const CuckooSandboxSim& cuckoo);
+
+/// The full analyst-facing sandbox report.
+std::string render_sandbox_report(const CuckooSandboxSim& cuckoo,
+                                  const MemoryDump& dump);
+
+}  // namespace faros::baselines

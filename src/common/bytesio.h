@@ -1,0 +1,96 @@
+// Little-endian byte-stream writer/reader used by the replay log and the
+// guest image format. Reads are bounds-checked and report truncation.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace faros {
+
+class ByteWriter {
+ public:
+  void put_u8(u8 v) { out_.push_back(v); }
+  void put_u16(u16 v) {
+    put_u8(static_cast<u8>(v & 0xff));
+    put_u8(static_cast<u8>(v >> 8));
+  }
+  void put_u32(u32 v) {
+    put_u16(static_cast<u16>(v & 0xffff));
+    put_u16(static_cast<u16>(v >> 16));
+  }
+  void put_u64(u64 v) {
+    put_u32(static_cast<u32>(v & 0xffffffffu));
+    put_u32(static_cast<u32>(v >> 32));
+  }
+  void put_bytes(ByteSpan data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  /// Length-prefixed byte blob.
+  void put_blob(ByteSpan data) {
+    put_u32(static_cast<u32>(data.size()));
+    put_bytes(data);
+  }
+  /// Length-prefixed string.
+  void put_str(const std::string& s) {
+    put_blob(ByteSpan(reinterpret_cast<const u8*>(s.data()), s.size()));
+  }
+
+  const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  u8 get_u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  u16 get_u16() {
+    u16 lo = get_u8();
+    return static_cast<u16>(lo | (static_cast<u16>(get_u8()) << 8));
+  }
+  u32 get_u32() {
+    u32 lo = get_u16();
+    return lo | (static_cast<u32>(get_u16()) << 16);
+  }
+  u64 get_u64() {
+    u64 lo = get_u32();
+    return lo | (static_cast<u64>(get_u32()) << 32);
+  }
+  Bytes get_blob() {
+    u32 n = get_u32();
+    if (!need(n)) return {};
+    Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  std::string get_str() {
+    Bytes b = get_blob();
+    return std::string(b.begin(), b.end());
+  }
+
+ private:
+  bool need(size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace faros

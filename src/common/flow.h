@@ -1,0 +1,30 @@
+// Network flow 4-tuple. Shared between the simulated network stack and the
+// FAROS netflow tag map (a netflow tag is exactly this tuple, as in the
+// paper's Figure 5).
+#pragma once
+
+#include <string>
+
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace faros {
+
+struct FlowTuple {
+  u32 src_ip = 0;
+  u16 src_port = 0;
+  u32 dst_ip = 0;
+  u16 dst_port = 0;
+
+  bool operator==(const FlowTuple&) const = default;
+
+  /// Paper-style rendering: "{src ip,port: a.b.c.d:p, dest ip.port: ...}".
+  std::string to_string() const {
+    return "{src ip,port: " + ipv4_to_string(src_ip) + ":" +
+           std::to_string(src_port) +
+           ", dest ip,port: " + ipv4_to_string(dst_ip) + ":" +
+           std::to_string(dst_port) + "}";
+  }
+};
+
+}  // namespace faros

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace faros {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+void default_sink(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", Log::level_name(lvl), msg.c_str());
+}
+
+Log::Sink g_sink = default_sink;
+
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+Log::Sink Log::set_sink(Sink sink) {
+  Sink prev = g_sink;
+  g_sink = sink ? std::move(sink) : Sink(default_sink);
+  return prev;
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (lvl < g_level) return;
+  g_sink(lvl, msg);
+}
+
+const char* Log::level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace faros

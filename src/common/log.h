@@ -1,0 +1,60 @@
+// Tiny leveled logger. All FAROS diagnostics funnel through here so tests
+// can silence or capture them.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace faros {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logging configuration. Not thread-safe by design: the simulator is
+/// single-threaded (one host core drives the whole guest).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  /// Replace the output sink (default writes to stderr). Returns previous.
+  static Sink set_sink(Sink sink);
+
+  static void write(LogLevel lvl, const std::string& msg);
+
+  static const char* level_name(LogLevel lvl);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define FAROS_LOG(lvl)                            \
+  if (::faros::Log::level() <= (lvl))             \
+  ::faros::detail::LogLine(lvl)
+
+#define FAROS_TRACE() FAROS_LOG(::faros::LogLevel::kTrace)
+#define FAROS_DEBUG() FAROS_LOG(::faros::LogLevel::kDebug)
+#define FAROS_INFO() FAROS_LOG(::faros::LogLevel::kInfo)
+#define FAROS_WARN() FAROS_LOG(::faros::LogLevel::kWarn)
+#define FAROS_ERROR() FAROS_LOG(::faros::LogLevel::kError)
+
+}  // namespace faros

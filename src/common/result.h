@@ -1,0 +1,85 @@
+// Minimal expected-style result type. The guest kernel and VM report
+// recoverable failures (bad addresses, missing files, ...) through Result
+// rather than exceptions so that guest misbehaviour can never unwind host
+// analysis code.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace faros {
+
+/// Error payload: a stable code plus a human-readable message.
+struct Error {
+  std::string message;
+
+  static Error make(std::string msg) { return Error{std::move(msg)}; }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  /// Returns the contained value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result<void> specialisation: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Result<void> Ok() { return Result<void>{}; }
+
+template <typename T>
+Result<T> Err(std::string msg) {
+  return Result<T>(Error::make(std::move(msg)));
+}
+
+}  // namespace faros

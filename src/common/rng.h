@@ -1,0 +1,55 @@
+// Deterministic PRNG (splitmix64 seeded xorshift). Workload generators and
+// property tests use this instead of std::random_device so every run —
+// including record/replay — is reproducible.
+#pragma once
+
+#include "common/types.h"
+
+namespace faros {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // splitmix64 to spread a possibly small seed across the state.
+    u64 z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    state_ = z ^ (z >> 31);
+    if (state_ == 0) state_ = 0x2545f4914f6cdd1dull;
+  }
+
+  u64 next_u64() {
+    u64 x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound == 0 yields 0.
+  u64 below(u64 bound) { return bound ? next_u64() % bound : 0; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  bool chance(double p) {
+    return static_cast<double>(next_u32()) <
+           p * static_cast<double>(0xffffffffu);
+  }
+
+  Bytes bytes(size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<u8>(next_u64());
+    return out;
+  }
+
+ private:
+  u64 state_ = 0;
+};
+
+}  // namespace faros

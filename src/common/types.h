@@ -1,0 +1,31 @@
+// Fundamental integer and byte-buffer aliases shared by every FAROS module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace faros {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Raw byte buffer used for guest memory images, packet payloads and files.
+using Bytes = std::vector<u8>;
+using ByteSpan = std::span<const u8>;
+using MutByteSpan = std::span<u8>;
+
+/// Guest virtual address (32-bit machine).
+using VAddr = u32;
+/// Guest physical address. Wider than VAddr so shadow structures can also
+/// index synthetic address spaces (e.g. file shadows) without collision.
+using PAddr = u64;
+
+}  // namespace faros

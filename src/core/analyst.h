@@ -1,0 +1,45 @@
+// Analyst-facing queries over a FarosEngine: tainted-region maps (which
+// ranges of which process carry provenance, and what kind), and finding
+// summaries. These are the "save the analyst hours of reverse engineering"
+// conveniences the paper motivates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace faros::core {
+
+/// A maximal run of consecutive virtual addresses whose bytes share the
+/// same provenance list.
+struct TaintedRegion {
+  VAddr start = 0;
+  u32 len = 0;
+  ProvListId prov = kEmptyProv;
+};
+
+/// Scans [lo, hi) in `as` and coalesces tainted bytes into regions.
+/// Unmapped gaps end a region. At most `max_regions` are returned.
+std::vector<TaintedRegion> tainted_regions(const FarosEngine& engine,
+                                           const vm::AddressSpace& as,
+                                           VAddr lo, VAddr hi,
+                                           size_t max_regions = 256);
+
+/// Full per-process taint map over every live process' known regions:
+/// one line per tainted range, with the rendered provenance chain.
+std::string taint_map(const FarosEngine& engine, os::Kernel& kernel);
+
+struct FindingSummary {
+  std::map<std::string, u32> by_policy;
+  std::map<std::string, u32> by_process;
+  u32 total = 0;
+  u32 whitelisted = 0;
+};
+
+FindingSummary summarize_findings(const std::vector<Finding>& findings);
+
+std::string render_summary(const FindingSummary& summary);
+
+}  // namespace faros::core

@@ -1,0 +1,514 @@
+#include "core/engine.h"
+
+#include "common/strings.h"
+#include "vm/isa.h"
+
+namespace faros::core {
+
+using vm::AccessType;
+using vm::Opcode;
+
+FarosEngine::FarosEngine(const os::OsiQuery& osi, Options opts)
+    : osi_(osi),
+      opts_(opts),
+      store_(opts.prov_list_cap, opts.prov_store_max_lists) {
+  if (opts_.policy_netflow_export) {
+    policies_.push_back(std::make_unique<NetflowExportConfluencePolicy>());
+  }
+  if (opts_.policy_cross_process_export) {
+    policies_.push_back(
+        std::make_unique<CrossProcessExportConfluencePolicy>());
+  }
+}
+
+void FarosEngine::add_policy(std::unique_ptr<FlagPolicy> policy) {
+  policies_.push_back(std::move(policy));
+}
+
+u16 FarosEngine::process_tag_index(PAddr cr3) {
+  auto it = ptag_cache_.find(cr3);
+  if (it != ptag_cache_.end()) return it->second;
+  u16 idx;
+  if (auto info = osi_.process_by_cr3(cr3)) {
+    idx = maps_.process.intern(cr3, info->pid, info->name);
+  } else {
+    idx = maps_.process.intern(cr3, 0, "<unknown>");
+  }
+  ptag_cache_[cr3] = idx;
+  return idx;
+}
+
+ProvListId FarosEngine::with_process(ProvListId id, PAddr cr3,
+                                     bool even_if_untainted) {
+  if (!opts_.track_process) return id;
+  if (id == kEmptyProv && !even_if_untainted) return id;
+  return store_.append(id, process_tag(cr3));
+}
+
+// ---------------------------------------------------------------------------
+// Instruction-level propagation (Table I).
+
+void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
+                                  const vm::AddressSpace& as) {
+  ++stats_.insns_seen;
+  const vm::Instruction& insn = ev.insn;
+  ShadowRegisters& sr = sregs(ev.cr3);
+
+  // Instruction fetch is a memory access by this process: append its tag to
+  // any tainted instruction bytes, and collect their provenance — the
+  // "provenance list associated with this instruction" of Figures 7-10.
+  ProvListId fetch = kEmptyProv;
+  for (u32 i = 0; i < vm::kInsnSize; ++i) {
+    ProvListId id = shadow_.get(ev.pc_pa + i);
+    if (id != kEmptyProv) {
+      ProvListId id2 = with_process(id, ev.cr3, false);
+      if (id2 != id) shadow_.set(ev.pc_pa + i, id2);
+      fetch = store_.merge(fetch, id2);
+    }
+  }
+  if (fetch != kEmptyProv) ++stats_.tainted_fetches;
+
+  auto alu3 = [&]() {
+    if ((insn.op == Opcode::kXor || insn.op == Opcode::kSub) &&
+        insn.rs1 == insn.rs2) {
+      sr.clear_reg(insn.rd);  // zero idiom: delete rule
+      return;
+    }
+    ProvListId u = store_.merge(sr.reg_union(insn.rs1, store_),
+                                sr.reg_union(insn.rs2, store_));
+    sr.set_all(insn.rd, u);
+  };
+  auto alu_imm = [&]() {
+    sr.set_all(insn.rd, sr.reg_union(insn.rs1, store_));
+  };
+
+  auto handle_load = [&](u8 dst_reg, u8 base_reg) {
+    ++stats_.loads;
+    if (!ev.mem) return;
+    const u32 size = ev.mem->size;
+    ProvListId target_union = kEmptyProv;
+    ProvListId byte_ids[4] = {};
+    ProvListId addr_u = opts_.propagate_address_deps
+                            ? sr.reg_union(base_reg, store_)
+                            : kEmptyProv;
+    for (u32 i = 0; i < size; ++i) {
+      PAddr pa;
+      if (i == 0) {
+        pa = ev.mem->pa;
+      } else {
+        auto t = as.translate(ev.mem->va + i, AccessType::kRead, false);
+        if (!t) continue;
+        pa = *t;
+      }
+      ProvListId id = shadow_.get(pa);
+      if (id != kEmptyProv) {
+        ProvListId id2 = with_process(id, ev.cr3, false);
+        if (id2 != id) shadow_.set(pa, id2);
+        id = id2;
+      }
+      target_union = store_.merge(target_union, id);
+      byte_ids[i] = store_.merge(id, addr_u);
+    }
+    for (u32 i = 0; i < 4; ++i) {
+      sr.set(dst_reg, static_cast<u8>(i), i < size ? byte_ids[i] : kEmptyProv);
+    }
+    if (target_union != kEmptyProv) {
+      if (store_.contains_type(target_union, TagType::kExportTable)) {
+        ++stats_.export_table_reads;
+      }
+      check_policies(ev, as, fetch, target_union);
+    }
+  };
+
+  auto handle_store = [&](u8 src_reg, u8 base_reg) {
+    ++stats_.stores;
+    if (!ev.mem) return;
+    const u32 size = ev.mem->size;
+    ProvListId addr_u = opts_.propagate_address_deps
+                            ? sr.reg_union(base_reg, store_)
+                            : kEmptyProv;
+    // Early-warning policy: network-derived bytes being written into an
+    // executable page (payload staging) — optional, see Options.
+    if (opts_.policy_tainted_code_write) {
+      ProvListId val = store_.merge(sr.reg_union(src_reg, store_), addr_u);
+      if (store_.contains_type(val, TagType::kNetflow) &&
+          (as.page_flags(ev.mem->va) & vm::kPteExec)) {
+        u64 site = (static_cast<u64>(ev.pc) << 8) | 0xff;
+        if (flagged_sites_.insert(site).second &&
+            findings_.size() < opts_.max_findings) {
+          Finding f;
+          f.policy = "tainted-code-write";
+          f.instr_index = ev.instr_index;
+          if (auto info = osi_.process_by_cr3(ev.cr3)) f.proc = *info;
+          f.insn_va = ev.pc;
+          f.insn_pa = ev.pc_pa;
+          f.disasm = vm::disassemble(ev.insn);
+          f.target_va = ev.mem->va;
+          f.fetch_prov = fetch;
+          f.target_prov = val;
+          f.whitelisted = opts_.whitelist.count(f.proc.name) != 0;
+          findings_.push_back(std::move(f));
+        }
+      }
+    }
+    for (u32 i = 0; i < size; ++i) {
+      PAddr pa;
+      if (i == 0) {
+        pa = ev.mem->pa;
+      } else {
+        auto t = as.translate(ev.mem->va + i, AccessType::kWrite, false);
+        if (!t) continue;
+        pa = *t;
+      }
+      ProvListId id = store_.merge(sr.get(src_reg, static_cast<u8>(i)),
+                                   addr_u);
+      id = with_process(id, ev.cr3, false);
+      shadow_.set(pa, id);  // copy rule; empty clears stale taint
+    }
+  };
+
+  switch (insn.op) {
+    case Opcode::kMovi:
+    case Opcode::kAddPc:
+      sr.clear_reg(insn.rd);  // constants carry no provenance (delete rule)
+      break;
+    case Opcode::kMov:
+      for (u8 b = 0; b < 4; ++b) sr.set(insn.rd, b, sr.get(insn.rs1, b));
+      break;
+
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDivu:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+      alu3();
+      break;
+
+    case Opcode::kAddi:
+    case Opcode::kSubi:
+    case Opcode::kMuli:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kShli:
+    case Opcode::kShri:
+      alu_imm();
+      break;
+
+    case Opcode::kLd8:
+    case Opcode::kLd16:
+    case Opcode::kLd32:
+      handle_load(insn.rd, insn.rs1);
+      break;
+    case Opcode::kPop:
+      handle_load(insn.rd, vm::SP);
+      break;
+
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+      handle_store(insn.rs2, insn.rs1);
+      break;
+    case Opcode::kPush:
+      handle_store(insn.rs1, vm::SP);
+      break;
+
+    case Opcode::kCall:
+    case Opcode::kCallr:
+      sr.clear_reg(vm::LR);  // return address is a constant
+      break;
+
+    case Opcode::kSyscall:
+      sr.clear_reg(vm::R0);  // result produced by the (native) kernel
+      break;
+
+    // Compares and branches do not move data; control dependencies are
+    // deliberately not propagated (Section IV).
+    default: break;
+  }
+}
+
+void FarosEngine::check_policies(const vm::InsnEvent& ev,
+                                 const vm::AddressSpace& as,
+                                 ProvListId fetch_prov,
+                                 ProvListId target_prov) {
+  for (size_t idx = 0; idx < policies_.size(); ++idx) {
+    ++stats_.policy_evals;
+    if (!policies_[idx]->matches(store_, fetch_prov, target_prov)) continue;
+    u64 site = (static_cast<u64>(ev.pc) << 8) | idx;
+    if (!flagged_sites_.insert(site).second) continue;
+    if (findings_.size() >= opts_.max_findings) continue;
+
+    Finding f;
+    f.policy = policies_[idx]->name();
+    f.instr_index = ev.instr_index;
+    if (auto info = osi_.process_by_cr3(ev.cr3)) {
+      f.proc = *info;
+    } else {
+      f.proc.cr3 = ev.cr3;
+      f.proc.name = "<unknown>";
+    }
+    f.insn_va = ev.pc;
+    f.insn_pa = ev.pc_pa;
+    f.disasm = vm::disassemble(ev.insn);
+    f.target_va = ev.mem ? ev.mem->va : 0;
+    f.fetch_prov = fetch_prov;
+    f.target_prov = target_prov;
+    f.whitelisted = opts_.whitelist.count(f.proc.name) != 0;
+    // Snapshot the code around the flagged pc now: a transient payload may
+    // wipe itself before the analyst ever looks.
+    constexpr u32 kBefore = 4 * vm::kInsnSize;
+    constexpr u32 kAfter = 8 * vm::kInsnSize;
+    f.code_base = ev.pc >= kBefore ? ev.pc - kBefore : 0;
+    Bytes window(kBefore + kAfter);
+    if (as.copy_out(f.code_base, window, /*user=*/false).ok()) {
+      f.code_window = std::move(window);
+    } else {
+      // Window ran off the mapped region; fall back to just the insn.
+      Bytes small(vm::kInsnSize);
+      if (as.copy_out(ev.pc, small, /*user=*/false).ok()) {
+        f.code_base = ev.pc;
+        f.code_window = std::move(small);
+      }
+    }
+    findings_.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tag insertion (semantic events from the introspection layer).
+
+namespace {
+/// Per-byte iteration over a guest transfer; calls fn(offset, paddr).
+template <typename Fn>
+void for_each_byte(const osi::GuestXfer& xfer, Fn&& fn) {
+  for (u32 i = 0; i < xfer.len; ++i) {
+    auto pa = xfer.as->translate(xfer.va + i, AccessType::kRead, false);
+    if (pa) fn(i, *pa);
+  }
+}
+}  // namespace
+
+void FarosEngine::on_process_start(const osi::ProcessInfo& p) {
+  ptag_cache_[p.cr3] = maps_.process.intern(p.cr3, p.pid, p.name);
+}
+
+void FarosEngine::on_process_exit(const osi::ProcessInfo& p, u32 exit_code) {
+  (void)exit_code;
+  regs_.erase(p.cr3);
+  // CR3 values can be recycled by later processes; drop the cache binding
+  // (ProcessMap keeps the historical entry for report rendering).
+  ptag_cache_.erase(p.cr3);
+}
+
+void FarosEngine::on_module_loaded(const osi::ModuleInfo& mod,
+                                   const vm::AddressSpace& kernel_as) {
+  if (!opts_.track_export) return;
+  // Taint the function-pointer field of every export entry: layout is
+  // [count][hash u32, addr u32]*count; the addr bytes get the tag.
+  ProvListId id = store_.intern({ProvTag::export_table()});
+  for (u32 i = 0; i < mod.export_count; ++i) {
+    VAddr addr_field = mod.exports_va + 4 + i * 8 + 4;
+    for (u32 b = 0; b < 4; ++b) {
+      auto pa = kernel_as.translate(addr_field + b, AccessType::kRead, false);
+      if (pa) shadow_.set(*pa, id);
+    }
+  }
+}
+
+void FarosEngine::on_packet_to_guest(const osi::GuestXfer& xfer,
+                                     const FlowTuple& flow,
+                                     const osi::PacketMeta& meta) {
+  ProvListId fresh = kEmptyProv;
+  ProvTag nf_tag = ProvTag::netflow(0);
+  if (opts_.track_netflow) {
+    nf_tag = ProvTag::netflow(maps_.netflow.intern(flow));
+    fresh = store_.intern({nf_tag});
+    fresh = with_process(fresh, xfer.proc.cr3, false);
+  }
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    // Loopback segments carry the sender-side provenance: the chain keeps
+    // running through the network stack (whole-system tracking).
+    ProvListId base = meta.segment_id
+                          ? segment_shadow_.get(meta.segment_id,
+                                                meta.segment_off + i)
+                          : kEmptyProv;
+    if (base != kEmptyProv) {
+      ProvListId id = base;
+      if (opts_.track_netflow) id = store_.append(id, nf_tag);
+      id = with_process(id, xfer.proc.cr3, false);
+      shadow_.set(pa, id);
+    } else {
+      shadow_.set(pa, fresh);
+    }
+  });
+}
+
+void FarosEngine::on_guest_send(const osi::GuestXfer& xfer,
+                                const FlowTuple& flow,
+                                const osi::PacketMeta& meta) {
+  (void)flow;
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    ProvListId id = shadow_.get(pa);
+    if (id != kEmptyProv) {
+      id = with_process(id, xfer.proc.cr3, false);
+      shadow_.set(pa, id);
+    }
+    // Attach the source provenance to the in-flight segment so a loopback
+    // receiver inherits it.
+    if (meta.loopback && meta.segment_id) {
+      segment_shadow_.set(meta.segment_id, i, id);
+    }
+  });
+}
+
+void FarosEngine::on_file_read(const osi::GuestXfer& xfer, u32 file_id,
+                               const std::string& path, u32 version,
+                               u32 file_offset) {
+  ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    ProvListId id = file_shadow_.get(file_id, file_offset + i);
+    if (opts_.track_file) id = store_.append(id, ftag);
+    id = with_process(id, xfer.proc.cr3, false);
+    shadow_.set(pa, id);
+  });
+}
+
+void FarosEngine::on_file_write(const osi::GuestXfer& xfer, u32 file_id,
+                                const std::string& path, u32 version,
+                                u32 file_offset) {
+  ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    ProvListId id = shadow_.get(pa);
+    if (opts_.track_file) {
+      // The paper taints the written buffer with the file tag (the byte is
+      // now also "in" the file); chronology: process, then file.
+      id = with_process(id, xfer.proc.cr3, true);
+      id = store_.append(id, ftag);
+      shadow_.set(pa, id);
+    } else if (id != kEmptyProv) {
+      id = with_process(id, xfer.proc.cr3, false);
+      shadow_.set(pa, id);
+    }
+    file_shadow_.set(file_id, file_offset + i, id);
+  });
+}
+
+void FarosEngine::on_image_mapped(const osi::ProcessInfo& proc,
+                                  const vm::AddressSpace& as, VAddr base,
+                                  u32 len, u32 file_id,
+                                  const std::string& path, u32 version) {
+  if (!opts_.track_file || !opts_.taint_mapped_images) return;
+  ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
+  ProvListId plain = store_.intern({ftag});
+  plain = with_process(plain, proc.cr3, true);
+  for (u32 i = 0; i < len; ++i) {
+    auto pa = as.translate(base + i, AccessType::kRead, false);
+    if (!pa) continue;
+    // Bytes that reached this file from elsewhere (e.g. a dropper writing
+    // a downloaded stage-2 binary) keep their history: merge the file
+    // shadow so a netflow origin survives the round trip through disk.
+    ProvListId base_prov = file_shadow_.get(file_id, i);
+    ProvListId id = plain;
+    if (base_prov != kEmptyProv) {
+      id = store_.append(base_prov, ftag);
+      id = with_process(id, proc.cr3, true);
+    }
+    shadow_.set(*pa, id);
+  }
+}
+
+void FarosEngine::on_iat_resolved(const osi::ProcessInfo& proc,
+                                  const vm::AddressSpace& as, VAddr slot_va) {
+  (void)proc;
+  if (!opts_.track_export) return;
+  // The slot's value is derived from export-table data: append the export
+  // tag on top of whatever provenance the slot bytes already carry (e.g.
+  // the image's file tag), so IAT-scanning payloads hit the confluence too.
+  for (u32 b = 0; b < 4; ++b) {
+    auto pa = as.translate(slot_va + b, AccessType::kRead, false);
+    if (!pa) continue;
+    shadow_.set(*pa, store_.append(shadow_.get(*pa), ProvTag::export_table()));
+  }
+}
+
+void FarosEngine::on_cross_process_write(const osi::GuestXfer& src,
+                                         const osi::GuestXfer& dst) {
+  for (u32 i = 0; i < src.len && i < dst.len; ++i) {
+    auto spa = src.as->translate(src.va + i, AccessType::kRead, false);
+    auto dpa = dst.as->translate(dst.va + i, AccessType::kRead, false);
+    if (!dpa) continue;
+    ProvListId id = spa ? shadow_.get(*spa) : kEmptyProv;
+    if (id != kEmptyProv) {
+      // The source process accessed the byte; record it, then copy.
+      id = with_process(id, src.proc.cr3, false);
+      if (spa) shadow_.set(*spa, id);
+    }
+    shadow_.set(*dpa, id);
+  }
+}
+
+void FarosEngine::on_atom_write(const osi::GuestXfer& xfer, u32 atom_id) {
+  // The atom table is kernel-resident storage: like the file shadow, it
+  // carries provenance so atom-bombing-style payload staging is tracked.
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    ProvListId id = shadow_.get(pa);
+    if (id != kEmptyProv) {
+      id = with_process(id, xfer.proc.cr3, false);
+      shadow_.set(pa, id);
+    }
+    atom_shadow_.set(atom_id, i, id);
+  });
+}
+
+void FarosEngine::on_atom_read(const osi::GuestXfer& xfer, u32 atom_id) {
+  for_each_byte(xfer, [&](u32 i, PAddr pa) {
+    ProvListId id = atom_shadow_.get(atom_id, i);
+    id = with_process(id, xfer.proc.cr3, false);
+    shadow_.set(pa, id);
+  });
+}
+
+void FarosEngine::on_kernel_write(const osi::GuestXfer& xfer) {
+  clear_xfer(xfer);
+}
+
+void FarosEngine::clear_xfer(const osi::GuestXfer& xfer) {
+  for_each_byte(xfer, [&](u32, PAddr pa) { shadow_.set(pa, kEmptyProv); });
+}
+
+void FarosEngine::on_frame_recycled(PAddr frame_base) {
+  shadow_.clear_range(frame_base, vm::kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> FarosEngine::active_findings() const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (!f.whitelisted) out.push_back(f);
+  }
+  return out;
+}
+
+bool FarosEngine::flagged() const {
+  for (const Finding& f : findings_) {
+    if (!f.whitelisted) return true;
+  }
+  return false;
+}
+
+std::string FarosEngine::report() const {
+  return render_findings_table(findings_, store_, maps_);
+}
+
+ProvListId FarosEngine::prov_at(const vm::AddressSpace& as, VAddr va) const {
+  auto pa = as.translate(va, AccessType::kRead, false);
+  return pa ? shadow_.get(*pa) : kEmptyProv;
+}
+
+}  // namespace faros::core

@@ -1,0 +1,176 @@
+// FarosEngine — the paper's contribution, assembled: a whole-system
+// DIFT-provenance plugin that attaches to the Machine as both an
+// instruction-level hook (vm::ExecHooks, for Table-I propagation) and a
+// semantic-event monitor (osi::GuestMonitor, for tag insertion), and flags
+// in-memory injection attacks via tag-confluence policies.
+//
+// Tag insertion (paper Section V-A):
+//  * packet delivered into a guest buffer  -> netflow tag (+ process tag)
+//  * file bytes loaded into memory         -> file tag (name + version)
+//  * buffer written into a file            -> file tag on the buffer,
+//                                             provenance persisted per byte
+//                                             in the file shadow
+//  * image mapped from the VFS             -> file tag over the image
+//  * module export table materialised      -> export-table tag over the
+//                                             function-pointer bytes
+//  * process touches a tainted byte (fetch, load, store, syscall buffer)
+//                                          -> that process' tag appended
+//
+// Propagation (paper Table I): copy for MOV/LD/ST, union for arithmetic,
+// delete for constants/zero idioms. Address/control dependencies are NOT
+// globally propagated — that is the paper's core design decision; an
+// optional address-dependency mode exists for the overtainting ablation.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/report.h"
+#include "core/shadow.h"
+#include "introspection/monitor.h"
+#include "os/kernel.h"
+#include "vm/cpu.h"
+
+namespace faros::core {
+
+struct Options {
+  // Tag-type toggles (ablation bench disables one at a time).
+  bool track_netflow = true;
+  bool track_file = true;
+  bool track_process = true;
+  bool track_export = true;
+  /// Taint image bytes with the backing file's tag when mapped.
+  bool taint_mapped_images = true;
+
+  /// Propagate through address dependencies (table lookups). Off by
+  /// default, as in the paper; enabling demonstrates overtainting.
+  bool propagate_address_deps = false;
+
+  /// Built-in policies.
+  bool policy_netflow_export = true;
+  bool policy_cross_process_export = true;
+  /// Optional early-warning policy: flag when *netflow-tainted bytes are
+  /// written into an executable page* — fires at staging time, before the
+  /// payload ever runs. Off by default: it predates the paper's invariant
+  /// and would flag every JIT host (trading the 2% FP rate for earlier
+  /// alerts); see bench_evasion / tests for the trade-off.
+  bool policy_tainted_code_write = false;
+
+  /// Analyst whitelist: findings in these processes are recorded but
+  /// marked suppressed (the paper's JIT whitelisting).
+  std::set<std::string> whitelist;
+
+  u32 prov_list_cap = 64;
+  /// Exhaustion-attack guard: bound on distinct interned provenance lists
+  /// (Section VI-D); past it the store degrades gracefully.
+  u32 prov_store_max_lists = 1u << 22;
+  u32 max_findings = 256;
+};
+
+struct EngineStats {
+  u64 insns_seen = 0;
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 tainted_fetches = 0;
+  u64 export_table_reads = 0;  // loads that touched export-tagged bytes
+  u64 policy_evals = 0;
+};
+
+class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
+ public:
+  /// `osi` resolves CR3 values to processes (PANDA OSI analogue).
+  explicit FarosEngine(const os::OsiQuery& osi, Options opts = {});
+
+  // --- attach both halves to a Machine ---
+  // machine.attach_cpu_plugin(&engine); machine.add_monitor(&engine);
+
+  // vm::ExecHooks
+  void on_insn_retired(const vm::InsnEvent& ev,
+                       const vm::AddressSpace& as) override;
+
+  // osi::GuestMonitor
+  void on_process_start(const osi::ProcessInfo& p) override;
+  void on_process_exit(const osi::ProcessInfo& p, u32 exit_code) override;
+  void on_module_loaded(const osi::ModuleInfo& mod,
+                        const vm::AddressSpace& kernel_as) override;
+  void on_packet_to_guest(const osi::GuestXfer& xfer, const FlowTuple& flow,
+                          const osi::PacketMeta& meta = {}) override;
+  void on_guest_send(const osi::GuestXfer& xfer, const FlowTuple& flow,
+                     const osi::PacketMeta& meta = {}) override;
+  void on_file_read(const osi::GuestXfer& xfer, u32 file_id,
+                    const std::string& path, u32 version,
+                    u32 file_offset) override;
+  void on_file_write(const osi::GuestXfer& xfer, u32 file_id,
+                     const std::string& path, u32 version,
+                     u32 file_offset) override;
+  void on_image_mapped(const osi::ProcessInfo& proc,
+                       const vm::AddressSpace& as, VAddr base, u32 len,
+                       u32 file_id, const std::string& path,
+                       u32 version) override;
+  void on_iat_resolved(const osi::ProcessInfo& proc,
+                       const vm::AddressSpace& as, VAddr slot_va) override;
+  void on_cross_process_write(const osi::GuestXfer& src,
+                              const osi::GuestXfer& dst) override;
+  void on_atom_write(const osi::GuestXfer& xfer, u32 atom_id) override;
+  void on_atom_read(const osi::GuestXfer& xfer, u32 atom_id) override;
+  void on_kernel_write(const osi::GuestXfer& xfer) override;
+  void on_frame_recycled(PAddr frame_base) override;
+
+  // --- policies ---
+  void add_policy(std::unique_ptr<FlagPolicy> policy);
+  size_t policy_count() const { return policies_.size(); }
+
+  // --- results ---
+  const std::vector<Finding>& findings() const { return findings_; }
+  /// Findings not suppressed by the whitelist.
+  std::vector<Finding> active_findings() const;
+  bool flagged() const;
+
+  /// Table II-style report over all findings.
+  std::string report() const;
+
+  // --- introspection for tests/benches ---
+  const ProvStore& store() const { return store_; }
+  const TagMaps& maps() const { return maps_; }
+  const ShadowMemory& shadow() const { return shadow_; }
+  const FileShadow& file_shadow() const { return file_shadow_; }
+  const EngineStats& stats() const { return stats_; }
+  const Options& options() const { return opts_; }
+
+  /// Provenance of a guest virtual address in `as` (analyst query).
+  ProvListId prov_at(const vm::AddressSpace& as, VAddr va) const;
+
+ private:
+  u16 process_tag_index(PAddr cr3);
+  ProvTag process_tag(PAddr cr3) { return ProvTag::process(process_tag_index(cr3)); }
+  ShadowRegisters& sregs(PAddr cr3) { return regs_[cr3]; }
+
+  /// Appends the process tag to a (tainted) list when process tracking is
+  /// on; returns the list unchanged otherwise.
+  ProvListId with_process(ProvListId id, PAddr cr3, bool even_if_untainted);
+
+  void clear_xfer(const osi::GuestXfer& xfer);
+  void check_policies(const vm::InsnEvent& ev, const vm::AddressSpace& as,
+                      ProvListId fetch_prov, ProvListId target_prov);
+
+  const os::OsiQuery& osi_;
+  Options opts_;
+  ProvStore store_;
+  TagMaps maps_;
+  ShadowMemory shadow_;
+  FileShadow file_shadow_;
+  SegmentShadow segment_shadow_;
+  SegmentShadow atom_shadow_;  // keyed by atom id
+  std::unordered_map<PAddr, ShadowRegisters> regs_;  // keyed by CR3
+  std::unordered_map<PAddr, u16> ptag_cache_;
+  std::vector<std::unique_ptr<FlagPolicy>> policies_;
+  std::vector<Finding> findings_;
+  std::set<u64> flagged_sites_;  // (insn va, policy index) dedup
+  EngineStats stats_;
+};
+
+}  // namespace faros::core

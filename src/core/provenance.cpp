@@ -1,0 +1,119 @@
+#include "core/provenance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faros::core {
+
+namespace {
+const std::vector<ProvTag> kEmptyList;
+}  // namespace
+
+u64 ProvStore::hash_tags(const std::vector<ProvTag>& tags) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (const ProvTag& t : tags) h = hash_combine(h, t.key());
+  return h;
+}
+
+ProvListId ProvStore::intern(const std::vector<ProvTag>& tags) {
+  std::vector<ProvTag> unique;
+  unique.reserve(tags.size());
+  for (const ProvTag& t : tags) {
+    if (std::find(unique.begin(), unique.end(), t) == unique.end()) {
+      unique.push_back(t);
+      if (unique.size() >= cap_) break;
+    }
+  }
+  return intern_unique(std::move(unique));
+}
+
+ProvListId ProvStore::intern_unique(std::vector<ProvTag> tags,
+                                    ProvListId fallback) {
+  if (tags.empty()) return kEmptyProv;
+  u64 h = hash_tags(tags);
+  auto& bucket = by_hash_[h];
+  for (ProvListId id : bucket) {
+    if (lists_[id - 1] == tags) return id;
+  }
+  if (lists_.size() >= max_lists_) {
+    ++saturated_ops_;
+    return fallback;
+  }
+  Meta meta;
+  for (const ProvTag& t : tags) {
+    meta.type_mask |= static_cast<u8>(1u << (static_cast<u8>(t.type()) - 1));
+    if (t.type() == TagType::kProcess && meta.process_count < 255) {
+      ++meta.process_count;
+    }
+  }
+  lists_.push_back(std::move(tags));
+  metas_.push_back(meta);
+  ProvListId id = static_cast<ProvListId>(lists_.size());
+  bucket.push_back(id);
+  return id;
+}
+
+const std::vector<ProvTag>& ProvStore::get(ProvListId id) const {
+  if (id == kEmptyProv) return kEmptyList;
+  assert(id <= lists_.size());
+  return lists_[id - 1];
+}
+
+ProvListId ProvStore::append(ProvListId id, ProvTag tag) {
+  u64 key = (static_cast<u64>(id) << 32) | tag.key();
+  auto it = append_cache_.find(key);
+  if (it != append_cache_.end()) return it->second;
+
+  const auto& base = get(id);
+  ProvListId result = id;
+  if (std::find(base.begin(), base.end(), tag) == base.end()) {
+    if (base.size() >= cap_) {
+      result = id;  // at capacity: drop the newest tag, keep the origin
+    } else {
+      std::vector<ProvTag> tags = base;
+      tags.push_back(tag);
+      result = intern_unique(std::move(tags), /*fallback=*/id);
+    }
+  }
+  append_cache_[key] = result;
+  return result;
+}
+
+ProvListId ProvStore::merge(ProvListId a, ProvListId b) {
+  if (a == b || b == kEmptyProv) return a;
+  if (a == kEmptyProv) return b;
+  u64 key = (static_cast<u64>(a) << 32) | b;
+  auto it = merge_cache_.find(key);
+  if (it != merge_cache_.end()) return it->second;
+
+  std::vector<ProvTag> tags = get(a);
+  for (const ProvTag& t : get(b)) {
+    if (tags.size() >= cap_) break;
+    if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+      tags.push_back(t);
+    }
+  }
+  ProvListId result = intern_unique(std::move(tags), /*fallback=*/a);
+  merge_cache_[key] = result;
+  return result;
+}
+
+bool ProvStore::contains_type(ProvListId id, TagType t) const {
+  if (id == kEmptyProv) return false;
+  assert(id <= metas_.size());
+  return (metas_[id - 1].type_mask &
+          (1u << (static_cast<u8>(t) - 1))) != 0;
+}
+
+u32 ProvStore::process_count(ProvListId id) const {
+  if (id == kEmptyProv) return 0;
+  assert(id <= metas_.size());
+  return metas_[id - 1].process_count;
+}
+
+bool ProvStore::contains(ProvListId id, ProvTag tag) const {
+  const auto& tags = get(id);
+  return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+}  // namespace faros::core

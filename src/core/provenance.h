@@ -1,0 +1,87 @@
+// Interned provenance lists.
+//
+// A provenance list is the ordered, de-duplicated sequence of prov_tags a
+// byte has accumulated (paper Figure 4): first-seen order is chronological,
+// so "NetFlow -> inject_client.exe -> notepad.exe" reads as the byte's life
+// story. Lists are immutable and hash-consed: the shadow memory stores one
+// 32-bit ProvListId per byte (id 0 = untainted), and the propagation
+// operations of Table I — copy, union, delete — become id assignments,
+// memoized merges, and id 0 respectively. This mirrors how PANDA's taint2
+// keeps label sets tractable at whole-system scale.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/tags.h"
+
+namespace faros::core {
+
+using ProvListId = u32;
+inline constexpr ProvListId kEmptyProv = 0;
+
+class ProvStore {
+ public:
+  /// `cap` bounds list length; tags beyond the cap are dropped (keeping the
+  /// oldest entries preserves the origin of the flow). `max_lists` bounds
+  /// the number of distinct interned lists: a dedicated attacker could try
+  /// to exhaust FAROS' memory by manufacturing unique provenance (paper
+  /// Section VI-D); past the bound the store degrades gracefully — new
+  /// combinations collapse to their left operand instead of interning.
+  explicit ProvStore(u32 cap = 64, u32 max_lists = 1u << 22)
+      : cap_(cap), max_lists_(max_lists) {}
+
+  /// Interns an arbitrary tag sequence (de-duplicated, first-seen order).
+  ProvListId intern(const std::vector<ProvTag>& tags);
+
+  /// The tags of a list, chronological. id 0 yields the empty list.
+  const std::vector<ProvTag>& get(ProvListId id) const;
+
+  /// List `id` with `tag` appended (no-op when already present). Memoized.
+  ProvListId append(ProvListId id, ProvTag tag);
+
+  /// Union preserving order: all of `a`, then tags of `b` not in `a`
+  /// (Table I's union rule). Memoized.
+  ProvListId merge(ProvListId a, ProvListId b);
+
+  /// True if the list holds at least one tag of type `t`. O(1).
+  bool contains_type(ProvListId id, TagType t) const;
+
+  /// Number of *distinct* process tags in the list (saturates at 255).
+  u32 process_count(ProvListId id) const;
+
+  bool contains(ProvListId id, ProvTag tag) const;
+
+  /// Number of distinct lists interned so far (excluding empty).
+  size_t size() const { return lists_.size(); }
+
+  u32 cap() const { return cap_; }
+  u32 max_lists() const { return max_lists_; }
+
+  /// Times an intern was refused because the store is saturated (an
+  /// exhaustion-attack indicator an analyst should look at).
+  u64 saturated_ops() const { return saturated_ops_; }
+
+ private:
+  struct Meta {
+    u8 type_mask = 0;       // bit (type-1) set when a tag of type present
+    u8 process_count = 0;   // distinct process tags, saturating
+  };
+
+  /// Interns a de-duplicated tag sequence. `fallback` is returned when the
+  /// store is saturated and the sequence is new.
+  ProvListId intern_unique(std::vector<ProvTag> tags,
+                           ProvListId fallback = kEmptyProv);
+  static u64 hash_tags(const std::vector<ProvTag>& tags);
+
+  u32 cap_;
+  u32 max_lists_;
+  u64 saturated_ops_ = 0;
+  std::vector<std::vector<ProvTag>> lists_;  // index = id - 1
+  std::vector<Meta> metas_;
+  std::unordered_map<u64, std::vector<ProvListId>> by_hash_;
+  std::unordered_map<u64, ProvListId> append_cache_;
+  std::unordered_map<u64, ProvListId> merge_cache_;
+};
+
+}  // namespace faros::core

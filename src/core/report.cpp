@@ -1,0 +1,125 @@
+#include "core/report.h"
+
+#include "common/strings.h"
+#include "vm/isa.h"
+
+namespace faros::core {
+
+std::string render_code_window(const Finding& f) {
+  std::string out;
+  for (size_t off = 0; off + vm::kInsnSize <= f.code_window.size();
+       off += vm::kInsnSize) {
+    VAddr va = f.code_base + static_cast<u32>(off);
+    auto insn = vm::decode(
+        ByteSpan(f.code_window.data() + off, vm::kInsnSize));
+    out += strf("  %s %s  %s\n", va == f.insn_va ? "=>" : "  ",
+                hex32(va).c_str(),
+                insn ? vm::disassemble(*insn).c_str() : "(data)");
+  }
+  return out;
+}
+
+std::string render_chain(const ProvStore& store, const TagMaps& maps,
+                         ProvListId id) {
+  const auto& tags = store.get(id);
+  if (tags.empty()) return "(untainted)";
+  std::string out;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i) out += " ->";
+    out += maps.describe(tags[i]);
+  }
+  return out;
+}
+
+std::string render_findings_table(const std::vector<Finding>& findings,
+                                  const ProvStore& store,
+                                  const TagMaps& maps) {
+  std::string out;
+  out += "Memory Address  Provenance List\n";
+  for (const Finding& f : findings) {
+    out += strf("%-15s %s;%s\n", hex32(f.insn_va).c_str(),
+                render_chain(store, maps, f.fetch_prov).c_str(),
+                f.whitelisted ? "  [whitelisted]" : "");
+  }
+  return out;
+}
+
+std::string render_finding_detail(const Finding& f, const ProvStore& store,
+                                  const TagMaps& maps) {
+  std::string out;
+  out += strf("policy: %s%s\n", f.policy.c_str(),
+              f.whitelisted ? " [whitelisted]" : "");
+  out += strf("instruction: %s @ %s (process %s, pid %u, instr #%llu)\n",
+              f.disasm.c_str(), hex32(f.insn_va).c_str(),
+              f.proc.name.c_str(), f.proc.pid,
+              static_cast<unsigned long long>(f.instr_index));
+  out += strf("  provenance of instruction bytes: %s\n",
+              render_chain(store, maps, f.fetch_prov).c_str());
+  out += strf("  read target %s, provenance: %s\n",
+              hex32(f.target_va).c_str(),
+              render_chain(store, maps, f.target_prov).c_str());
+  if (!f.code_window.empty()) {
+    out += "  injected code around the flagged instruction:\n";
+    out += render_code_window(f);
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_chain(const ProvStore& store, const TagMaps& maps,
+                       ProvListId id) {
+  std::string out = "[";
+  const auto& tags = store.get(id);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(maps.describe(tags[i])) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string render_findings_json(const std::vector<Finding>& findings,
+                                 const ProvStore& store,
+                                 const TagMaps& maps) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {";
+    out += "\"policy\":\"" + json_escape(f.policy) + "\",";
+    out += strf("\"instr_index\":%llu,",
+                static_cast<unsigned long long>(f.instr_index));
+    out += "\"process\":\"" + json_escape(f.proc.name) + "\",";
+    out += strf("\"pid\":%u,", f.proc.pid);
+    out += "\"insn_va\":\"" + hex32(f.insn_va) + "\",";
+    out += "\"disasm\":\"" + json_escape(f.disasm) + "\",";
+    out += "\"target_va\":\"" + hex32(f.target_va) + "\",";
+    out += strf("\"whitelisted\":%s,", f.whitelisted ? "true" : "false");
+    out += "\"instruction_provenance\":" + json_chain(store, maps,
+                                                      f.fetch_prov) + ",";
+    out += "\"target_provenance\":" + json_chain(store, maps, f.target_prov);
+    out += i + 1 < findings.size() ? "},\n" : "}\n";
+  }
+  return out + "]\n";
+}
+
+}  // namespace faros::core

@@ -1,0 +1,56 @@
+// Findings and analyst-facing report rendering (paper Table II / Figures
+// 7-10): every flagged instruction with its address and full provenance
+// chain, so the reverse engineer gets the payload's life story for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/provenance.h"
+#include "introspection/monitor.h"
+
+namespace faros::core {
+
+struct Finding {
+  std::string policy;        // which invariant fired
+  u64 instr_index = 0;       // global retired-instruction index
+  osi::ProcessInfo proc;     // the process executing the injected code
+  VAddr insn_va = 0;         // virtual address of the flagged instruction
+  PAddr insn_pa = 0;
+  std::string disasm;        // e.g. "ld32 r0, [r11+4]"
+  VAddr target_va = 0;       // address the instruction read (export table)
+  ProvListId fetch_prov = kEmptyProv;   // provenance of the insn bytes
+  ProvListId target_prov = kEmptyProv;  // provenance of the read bytes
+  bool whitelisted = false;  // suppressed by the analyst whitelist
+
+  /// Code window captured at flag time: the instruction bytes surrounding
+  /// the flagged pc (so the analyst sees the injected code even if it is
+  /// transient and wipes itself later). `code_base` is the va of byte 0.
+  VAddr code_base = 0;
+  Bytes code_window;
+};
+
+/// Disassembles a captured code window, marking the flagged instruction.
+std::string render_code_window(const Finding& f);
+
+/// Renders a provenance list as the paper draws it:
+/// "NetFlow: {src ip,port: ...} ->Process: inject_client.exe ->...".
+std::string render_chain(const ProvStore& store, const TagMaps& maps,
+                         ProvListId id);
+
+/// Table II-style report: one row per flagged instruction address with its
+/// provenance list.
+std::string render_findings_table(const std::vector<Finding>& findings,
+                                  const ProvStore& store,
+                                  const TagMaps& maps);
+
+/// One-finding detail block (Figures 7-10 style): the instruction, the
+/// provenance of its bytes, and the provenance of the memory it read.
+std::string render_finding_detail(const Finding& f, const ProvStore& store,
+                                  const TagMaps& maps);
+
+/// Machine-readable export (JSON array) for downstream triage tooling.
+std::string render_findings_json(const std::vector<Finding>& findings,
+                                 const ProvStore& store, const TagMaps& maps);
+
+}  // namespace faros::core

@@ -1,0 +1,137 @@
+// Shadow state: per-physical-byte provenance for guest RAM, a per-process
+// shadow register bank (byte-granular, 4 slots per 32-bit register), and a
+// per-file byte shadow so provenance survives a round trip through the
+// file system (paper Figure 4: ... -> written into File 1 -> read by
+// Process 3).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/provenance.h"
+#include "vm/isa.h"
+
+namespace faros::core {
+
+/// Sparse provenance map over guest physical memory. Only tainted bytes
+/// occupy an entry; storing kEmptyProv erases.
+class ShadowMemory {
+ public:
+  ProvListId get(PAddr pa) const {
+    auto it = map_.find(pa);
+    return it == map_.end() ? kEmptyProv : it->second;
+  }
+
+  void set(PAddr pa, ProvListId id) {
+    if (id == kEmptyProv) {
+      map_.erase(pa);
+    } else {
+      map_[pa] = id;
+    }
+  }
+
+  void clear_range(PAddr pa, u64 len) {
+    // Erase per byte; ranges are page sized at most in practice.
+    for (u64 i = 0; i < len; ++i) map_.erase(pa + i);
+  }
+
+  void clear() { map_.clear(); }
+
+  /// Number of tainted bytes (the overtainting metric of the ablation
+  /// bench).
+  u64 tainted_bytes() const { return map_.size(); }
+
+  const std::unordered_map<PAddr, ProvListId>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<PAddr, ProvListId> map_;
+};
+
+/// Byte-granular register shadow for one CPU context (one process).
+class ShadowRegisters {
+ public:
+  ProvListId get(u8 reg, u8 byte) const { return regs_[reg][byte]; }
+  void set(u8 reg, u8 byte, ProvListId id) { regs_[reg][byte] = id; }
+
+  void clear_reg(u8 reg) {
+    for (auto& b : regs_[reg]) b = kEmptyProv;
+  }
+
+  void set_all(u8 reg, ProvListId id) {
+    for (auto& b : regs_[reg]) b = id;
+  }
+
+  /// Union of all four byte lists of a register (for ALU operand taint).
+  ProvListId reg_union(u8 reg, ProvStore& store) const {
+    ProvListId acc = kEmptyProv;
+    for (ProvListId id : regs_[reg]) acc = store.merge(acc, id);
+    return acc;
+  }
+
+  bool reg_tainted(u8 reg) const {
+    for (ProvListId id : regs_[reg]) {
+      if (id != kEmptyProv) return true;
+    }
+    return false;
+  }
+
+ private:
+  ProvListId regs_[vm::kNumRegs][4] = {};
+};
+
+/// Per-segment byte provenance keyed by (segment id, offset): carries
+/// provenance across the network stack for guest-to-guest (loopback)
+/// transfers, the socket analogue of the file shadow.
+class SegmentShadow {
+ public:
+  ProvListId get(u64 segment_id, u32 offset) const {
+    auto it = map_.find(key(segment_id, offset));
+    return it == map_.end() ? kEmptyProv : it->second;
+  }
+
+  void set(u64 segment_id, u32 offset, ProvListId id) {
+    if (id == kEmptyProv) {
+      map_.erase(key(segment_id, offset));
+    } else {
+      map_[key(segment_id, offset)] = id;
+    }
+  }
+
+  u64 tainted_bytes() const { return map_.size(); }
+
+ private:
+  static u64 key(u64 segment_id, u32 offset) {
+    return hash_combine(segment_id, offset);
+  }
+
+  std::unordered_map<u64, ProvListId> map_;
+};
+
+/// Per-file byte provenance keyed by (file id, offset).
+class FileShadow {
+ public:
+  ProvListId get(u32 file_id, u32 offset) const {
+    auto it = map_.find(key(file_id, offset));
+    return it == map_.end() ? kEmptyProv : it->second;
+  }
+
+  void set(u32 file_id, u32 offset, ProvListId id) {
+    if (id == kEmptyProv) {
+      map_.erase(key(file_id, offset));
+    } else {
+      map_[key(file_id, offset)] = id;
+    }
+  }
+
+  u64 tainted_bytes() const { return map_.size(); }
+
+ private:
+  static u64 key(u32 file_id, u32 offset) {
+    return (static_cast<u64>(file_id) << 32) | offset;
+  }
+
+  std::unordered_map<u64, ProvListId> map_;
+};
+
+}  // namespace faros::core

@@ -1,0 +1,103 @@
+#include "os/image.h"
+
+namespace faros::os {
+
+namespace {
+constexpr u32 kMagic = 0x53583332;  // "SX32"
+constexpr u32 kVersion = 1;
+}  // namespace
+
+Bytes Image::serialize() const {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_str(name);
+  w.put_u32(base_va);
+  w.put_u32(entry_offset);
+  w.put_blob(blob);
+  w.put_u32(static_cast<u32>(imports.size()));
+  for (const auto& imp : imports) {
+    w.put_u32(imp.module_hash);
+    w.put_u32(imp.symbol_hash);
+    w.put_u32(imp.slot_offset);
+  }
+  w.put_u32(static_cast<u32>(exports.size()));
+  for (const auto& exp : exports) {
+    w.put_u32(exp.symbol_hash);
+    w.put_u32(exp.offset);
+  }
+  return w.take();
+}
+
+Result<Image> Image::deserialize(ByteSpan data) {
+  ByteReader r(data);
+  if (r.get_u32() != kMagic) return Err<Image>("image: bad magic");
+  if (r.get_u32() != kVersion) return Err<Image>("image: bad version");
+  Image img;
+  img.name = r.get_str();
+  img.base_va = r.get_u32();
+  img.entry_offset = r.get_u32();
+  img.blob = r.get_blob();
+  u32 n_imports = r.get_u32();
+  if (!r.ok() || n_imports > 4096) return Err<Image>("image: truncated");
+  for (u32 i = 0; i < n_imports; ++i) {
+    ImportEntry imp;
+    imp.module_hash = r.get_u32();
+    imp.symbol_hash = r.get_u32();
+    imp.slot_offset = r.get_u32();
+    img.imports.push_back(imp);
+  }
+  u32 n_exports = r.get_u32();
+  if (!r.ok() || n_exports > 4096) return Err<Image>("image: truncated");
+  for (u32 i = 0; i < n_exports; ++i) {
+    ExportEntry exp;
+    exp.symbol_hash = r.get_u32();
+    exp.offset = r.get_u32();
+    img.exports.push_back(exp);
+  }
+  if (!r.ok()) return Err<Image>("image: truncated");
+  if (img.entry_offset >= img.blob.size() && !img.blob.empty()) {
+    return Err<Image>("image: entry point outside blob");
+  }
+  return img;
+}
+
+void ImageBuilder::import_symbol(const std::string& module,
+                                 const std::string& symbol,
+                                 const std::string& slot_label) {
+  imports_.push_back(
+      PendingImport{fnv1a32(module), fnv1a32(symbol), slot_label});
+}
+
+void ImageBuilder::export_symbol(const std::string& symbol,
+                                 const std::string& label) {
+  exports_.push_back(PendingExport{fnv1a32(symbol), label});
+}
+
+Result<Image> ImageBuilder::build() const {
+  Image img;
+  img.name = name_;
+  img.base_va = base_va_;
+  auto blob = asm__.assemble(base_va_);
+  if (!blob.ok()) return Err<Image>(blob.error().message);
+  img.blob = std::move(blob).take();
+  auto entry = asm__.label_offset(entry_label_);
+  if (!entry.ok()) {
+    return Err<Image>("image '" + name_ + "': " + entry.error().message);
+  }
+  img.entry_offset = entry.value();
+  for (const auto& imp : imports_) {
+    auto off = asm__.label_offset(imp.slot_label);
+    if (!off.ok()) return Err<Image>(off.error().message);
+    img.imports.push_back(
+        ImportEntry{imp.module_hash, imp.symbol_hash, off.value()});
+  }
+  for (const auto& exp : exports_) {
+    auto off = asm__.label_offset(exp.label);
+    if (!off.ok()) return Err<Image>(off.error().message);
+    img.exports.push_back(ExportEntry{exp.symbol_hash, off.value()});
+  }
+  return img;
+}
+
+}  // namespace faros::os

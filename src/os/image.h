@@ -1,0 +1,96 @@
+// SX32 — the guest executable/module format (the reproduction's "Portable
+// Executable"). An image is a single contiguous blob assembled for a fixed
+// base address, plus an entry point, an import table (IAT slots the loader
+// patches with resolved addresses), and an export table (symbol hash ->
+// offset) that the loader materialises as a guest-memory structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytesio.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "vm/assembler.h"
+
+namespace faros::os {
+
+/// One import: the loader resolves (module_hash, symbol_hash) against the
+/// module registry and writes the 32-bit address into the IAT slot at
+/// `slot_offset` within the image.
+struct ImportEntry {
+  u32 module_hash = 0;
+  u32 symbol_hash = 0;
+  u32 slot_offset = 0;
+};
+
+/// One export: symbol hash -> offset of the function within the image.
+struct ExportEntry {
+  u32 symbol_hash = 0;
+  u32 offset = 0;
+};
+
+struct Image {
+  std::string name;      // "notepad.exe"
+  u32 base_va = 0;       // address the blob was assembled for
+  u32 entry_offset = 0;  // entry point, relative to base_va
+  Bytes blob;            // code + data, loaded contiguously at base_va
+  std::vector<ImportEntry> imports;
+  std::vector<ExportEntry> exports;
+
+  u32 entry_va() const { return base_va + entry_offset; }
+
+  /// On-disk form stored in the VFS (what NtCreateProcess loads).
+  Bytes serialize() const;
+  static Result<Image> deserialize(ByteSpan data);
+};
+
+/// Builds an Image from an Assembler program. Labels named in imports and
+/// exports are resolved against the assembler's label table.
+class ImageBuilder {
+ public:
+  ImageBuilder(std::string name, u32 base_va)
+      : name_(std::move(name)), base_va_(base_va) {}
+
+  vm::Assembler& asm_() { return asm__; }
+
+  /// Declares an IAT slot: 4 zero bytes at label `slot_label` that the
+  /// loader patches with the address of `module!symbol`.
+  void import_symbol(const std::string& module, const std::string& symbol,
+                     const std::string& slot_label);
+
+  /// Exports the function at `label` under `symbol`.
+  void export_symbol(const std::string& symbol, const std::string& label);
+
+  void set_entry(const std::string& label) { entry_label_ = label; }
+
+  Result<Image> build() const;
+
+ private:
+  struct PendingImport {
+    u32 module_hash;
+    u32 symbol_hash;
+    std::string slot_label;
+  };
+  struct PendingExport {
+    u32 symbol_hash;
+    std::string label;
+  };
+
+  std::string name_;
+  u32 base_va_;
+  vm::Assembler asm__;
+  std::string entry_label_ = "_start";
+  std::vector<PendingImport> imports_;
+  std::vector<PendingExport> exports_;
+};
+
+/// Conventional load addresses (see DESIGN.md memory map).
+inline constexpr u32 kUserImageBase = 0x00400000;
+inline constexpr u32 kUserStackTop = 0x7fff0000;
+inline constexpr u32 kUserStackSize = 0x10000;
+inline constexpr u32 kUserHeapBase = 0x10000000;
+inline constexpr u32 kUserAllocBase = 0x20000000;
+
+}  // namespace faros::os

@@ -1,0 +1,89 @@
+// Machine: the whole sandbox VM — kernel + scheduler driver + record/replay.
+//
+// Usage mirrors the paper's Section V-C workflow:
+//   1. RECORD: boot a machine, attach an EventSource (the scripted attacker
+//      C2 / device input), run the workload. All nondeterministic inputs
+//      are captured in a ReplayLog.
+//   2. REPLAY: boot an identical machine, load the log, attach the FAROS
+//      plugin (vm::ExecHooks + osi::GuestMonitor), run. Execution is
+//      bit-identical, and the expensive taint analysis happens here.
+#pragma once
+
+#include <memory>
+
+#include "os/kernel.h"
+#include "vm/replay.h"
+
+namespace faros::os {
+
+class Machine;
+
+/// Live input source for record mode (scripted remote peers, devices).
+/// Polled once per scheduling round; inject inputs via the Machine API.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual void poll(Machine& m) = 0;
+};
+
+struct MachineConfig {
+  KernelConfig kernel;
+  u32 quantum = 256;  // instructions per scheduling slice
+};
+
+struct RunStats {
+  u64 instructions = 0;
+  u64 scheduling_rounds = 0;
+  bool all_exited = false;   // every process terminated
+  bool deadlocked = false;   // live processes but nothing runnable
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg = {});
+
+  Result<void> boot() { return kernel_.boot(); }
+
+  Kernel& kernel() { return kernel_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Attaches an instruction-level plugin (the FAROS taint engine).
+  void attach_cpu_plugin(vm::ExecHooks* hooks) {
+    kernel_.interp().set_hooks(hooks);
+  }
+  /// Attaches a semantic-event monitor (FAROS, CuckooBox baseline, probes).
+  void add_monitor(osi::GuestMonitor* m) { kernel_.monitors().attach(m); }
+
+  /// Record mode: attach the live input source.
+  void set_event_source(EventSource* src) { source_ = src; }
+
+  /// Replay mode: feed a previously recorded log. Clears any EventSource.
+  void load_replay(const vm::ReplayLog& log);
+
+  /// Runs until every process exits, nothing can make progress, or
+  /// `max_instructions` retire.
+  RunStats run(u64 max_instructions);
+
+  // --- injection API (EventSources call these; record mode logs them) ---
+  /// Returns false if no guest socket accepted the packet (it is dropped
+  /// and NOT recorded).
+  bool inject_packet(const FlowTuple& flow, ByteSpan data);
+  void inject_device(u32 device_id, ByteSpan data);
+
+  /// Everything recorded so far (valid in record mode).
+  const vm::ReplayLog& recording() const { return recording_; }
+
+ private:
+  void pump_events();
+
+  MachineConfig cfg_;
+  Kernel kernel_;
+  EventSource* source_ = nullptr;
+
+  vm::ReplayLog recording_;
+  vm::ReplayLog replay_;
+  size_t replay_pos_ = 0;
+  bool replay_mode_ = false;
+};
+
+}  // namespace faros::os

@@ -1,0 +1,150 @@
+#include "os/netstack.h"
+
+#include <algorithm>
+
+namespace faros::os {
+
+NetStack::Socket* NetStack::find(SocketId sid) {
+  auto it = sockets_.find(sid);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+const NetStack::Socket* NetStack::find(SocketId sid) const {
+  auto it = sockets_.find(sid);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+SocketId NetStack::create(u32 owner_pid) {
+  SocketId id = next_id_++;
+  sockets_[id] = Socket{owner_pid, State::kOpen, 0, 0, 0, {}};
+  return id;
+}
+
+Result<void> NetStack::bind(SocketId sid, u16 port) {
+  Socket* s = find(sid);
+  if (!s) return Err<void>("net: bad socket");
+  for (const auto& [id, other] : sockets_) {
+    if (id != sid && other.local_port == port && port != 0) {
+      return Err<void>("net: port in use");
+    }
+  }
+  s->local_port = port;
+  s->state = State::kBound;
+  return Ok();
+}
+
+Result<FlowTuple> NetStack::connect(SocketId sid, u32 ip, u16 port) {
+  Socket* s = find(sid);
+  if (!s) return Err<FlowTuple>("net: bad socket");
+  if (s->local_port == 0) s->local_port = next_ephemeral_++;
+  s->remote_ip = ip;
+  s->remote_port = port;
+  s->state = State::kConnected;
+  return FlowTuple{guest_ip_, s->local_port, ip, port};
+}
+
+Result<void> NetStack::close(SocketId sid) {
+  if (sockets_.erase(sid) == 0) return Err<void>("net: bad socket");
+  return Ok();
+}
+
+Result<OutboundPacket> NetStack::send(SocketId sid, ByteSpan data,
+                                      u64 instr_index) {
+  Socket* s = find(sid);
+  if (!s) return Err<OutboundPacket>("net: bad socket");
+  if (s->state != State::kConnected) {
+    return Err<OutboundPacket>("net: not connected");
+  }
+  FlowTuple flow{guest_ip_, s->local_port, s->remote_ip, s->remote_port};
+  OutboundPacket pkt{s->owner_pid, flow, Bytes(data.begin(), data.end()),
+                     instr_index, next_segment_++, /*loopback=*/false};
+  if (s->remote_ip == guest_ip_) {
+    // Loopback: deliver internally under the same segment id so the taint
+    // engine's packet shadow carries provenance across the transfer.
+    for (auto& [id, dst] : sockets_) {
+      bool connected_match = dst.state == State::kConnected &&
+                             dst.local_port == flow.dst_port &&
+                             dst.remote_ip == flow.src_ip &&
+                             dst.remote_port == flow.src_port;
+      bool bound_match =
+          dst.state == State::kBound && dst.local_port == flow.dst_port;
+      if (connected_match || bound_match) {
+        dst.rx.push_back(Segment{flow, pkt.data, pkt.segment_id, 0});
+        pkt.loopback = true;
+        break;
+      }
+    }
+  }
+  outbound_.push_back(pkt);
+  return pkt;
+}
+
+Result<u32> NetStack::rx_available(SocketId sid) const {
+  const Socket* s = find(sid);
+  if (!s) return Err<u32>("net: bad socket");
+  u32 total = 0;
+  for (const auto& seg : s->rx) total += static_cast<u32>(seg.data.size());
+  return total;
+}
+
+Result<u32> NetStack::read_rx(SocketId sid, MutByteSpan out,
+                              FlowTuple* flow_out, u64* segment_id,
+                              u32* segment_off) {
+  Socket* s = find(sid);
+  if (!s) return Err<u32>("net: bad socket");
+  if (s->rx.empty()) return 0u;
+  Segment& seg = s->rx.front();
+  u32 n = std::min<u32>(static_cast<u32>(out.size()),
+                        static_cast<u32>(seg.data.size()));
+  std::copy_n(seg.data.begin(), n, out.begin());
+  if (flow_out) *flow_out = seg.flow;
+  if (segment_id) *segment_id = seg.segment_id;
+  if (segment_off) *segment_off = seg.consumed;
+  if (n == seg.data.size()) {
+    s->rx.pop_front();
+  } else {
+    seg.data.erase(seg.data.begin(), seg.data.begin() + n);
+    seg.consumed += n;
+  }
+  return n;
+}
+
+bool NetStack::deliver(const FlowTuple& flow, ByteSpan data) {
+  // Prefer an exactly-matching connected socket.
+  for (auto& [id, s] : sockets_) {
+    if (s.state == State::kConnected && s.local_port == flow.dst_port &&
+        s.remote_ip == flow.src_ip && s.remote_port == flow.src_port) {
+      s.rx.push_back(
+          Segment{flow, Bytes(data.begin(), data.end()), next_segment_++, 0});
+      return true;
+    }
+  }
+  // Fall back to a listening (bound, unconnected) socket on the port.
+  // Connected sockets only accept their own flow.
+  for (auto& [id, s] : sockets_) {
+    if (s.state == State::kBound && s.local_port == flow.dst_port) {
+      s.rx.push_back(
+          Segment{flow, Bytes(data.begin(), data.end()), next_segment_++, 0});
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<u32> NetStack::socket_owner(SocketId sid) const {
+  const Socket* s = find(sid);
+  if (!s) return std::nullopt;
+  return s->owner_pid;
+}
+
+void NetStack::close_all_for(u32 owner_pid) {
+  for (auto it = sockets_.begin(); it != sockets_.end();) {
+    if (it->second.owner_pid == owner_pid) {
+      it = sockets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace faros::os

@@ -1,0 +1,107 @@
+// Simulated guest network stack. Sockets are datagram-ish byte streams:
+// inbound packets are queued per socket as segments (each remembering its
+// flow 4-tuple, which becomes the FAROS netflow tag when the kernel copies
+// the bytes into a guest buffer); outbound sends are appended to a trace
+// that scripted remote peers (the C2 simulator) and the CuckooBox baseline
+// observe.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/flow.h"
+#include "common/result.h"
+#include "common/types.h"
+
+namespace faros::os {
+
+using SocketId = u32;
+
+struct Segment {
+  FlowTuple flow;  // as seen at the guest: src = remote, dst = guest
+  Bytes data;
+  /// Stable id; the taint engine keys per-byte packet shadows on it so
+  /// provenance survives guest-to-guest (loopback) transfers.
+  u64 segment_id = 0;
+  /// Bytes already consumed from the front (for partial reads, so shadow
+  /// offsets stay aligned with the original payload).
+  u32 consumed = 0;
+};
+
+struct OutboundPacket {
+  u32 owner_pid = 0;
+  FlowTuple flow;  // src = guest, dst = remote
+  Bytes data;
+  u64 instr_index = 0;  // when it was sent (global instruction counter)
+  u64 segment_id = 0;
+  bool loopback = false;  // delivered to another guest socket
+};
+
+class NetStack {
+ public:
+  explicit NetStack(u32 guest_ip) : guest_ip_(guest_ip) {}
+
+  u32 guest_ip() const { return guest_ip_; }
+
+  SocketId create(u32 owner_pid);
+  Result<void> bind(SocketId sid, u16 port);
+  /// Connects to a (simulated) remote endpoint; assigns an ephemeral local
+  /// port deterministically. Returns the flow guest->remote.
+  Result<FlowTuple> connect(SocketId sid, u32 ip, u16 port);
+  Result<void> close(SocketId sid);
+
+  /// Guest send on a connected socket. Appends to the outbound trace.
+  /// A send addressed to the guest's own IP is delivered internally
+  /// (loopback) to the socket listening on the destination port.
+  /// The returned packet record carries the segment id.
+  Result<OutboundPacket> send(SocketId sid, ByteSpan data, u64 instr_index);
+
+  /// Bytes queued for reception on this socket.
+  Result<u32> rx_available(SocketId sid) const;
+
+  /// Reads up to out.size() bytes from the *front segment only*, so every
+  /// recv corresponds to exactly one flow (keeps taint attribution exact).
+  /// Returns bytes read (0 when the queue is empty) and fills `flow_out`,
+  /// and optionally the segment id + offset of the first byte within the
+  /// original segment payload (for packet-shadow lookups).
+  Result<u32> read_rx(SocketId sid, MutByteSpan out, FlowTuple* flow_out,
+                      u64* segment_id = nullptr, u32* segment_off = nullptr);
+
+  /// Host-side delivery of an inbound packet. Finds the destination socket:
+  /// a connected socket whose flow matches, else a socket bound to
+  /// flow.dst_port. Returns false when nothing is listening.
+  bool deliver(const FlowTuple& flow, ByteSpan data);
+
+  bool socket_exists(SocketId sid) const { return sockets_.count(sid) != 0; }
+  std::optional<u32> socket_owner(SocketId sid) const;
+
+  const std::vector<OutboundPacket>& outbound() const { return outbound_; }
+
+  /// Drops all sockets owned by a terminating process.
+  void close_all_for(u32 owner_pid);
+
+ private:
+  enum class State { kOpen, kBound, kConnected };
+  struct Socket {
+    u32 owner_pid = 0;
+    State state = State::kOpen;
+    u16 local_port = 0;
+    u32 remote_ip = 0;
+    u16 remote_port = 0;
+    std::deque<Segment> rx;
+  };
+
+  Socket* find(SocketId sid);
+  const Socket* find(SocketId sid) const;
+
+  u32 guest_ip_;
+  std::map<SocketId, Socket> sockets_;
+  SocketId next_id_ = 1;
+  u16 next_ephemeral_ = 49162;  // matches the paper's Table II flows
+  u64 next_segment_ = 1;
+  std::vector<OutboundPacket> outbound_;
+};
+
+}  // namespace faros::os

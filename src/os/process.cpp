@@ -1,0 +1,25 @@
+#include "os/process.h"
+
+namespace faros::os {
+
+const char* proc_state_name(ProcState s) {
+  switch (s) {
+    case ProcState::kReady: return "ready";
+    case ProcState::kBlocked: return "blocked";
+    case ProcState::kSuspended: return "suspended";
+    case ProcState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+const char* region_kind_name(Region::Kind k) {
+  switch (k) {
+    case Region::Kind::kImage: return "image";
+    case Region::Kind::kStack: return "stack";
+    case Region::Kind::kHeap: return "heap";
+    case Region::Kind::kAlloc: return "private";
+  }
+  return "?";
+}
+
+}  // namespace faros::os

@@ -1,0 +1,90 @@
+// Kernel process objects: address space, CPU context, handle table, memory
+// region list (the VAD-tree analogue the malfind baseline inspects), and
+// blocking state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "introspection/monitor.h"
+#include "vm/cpu.h"
+#include "vm/mmu.h"
+
+namespace faros::os {
+
+using Pid = osi::Pid;
+
+enum class ProcState {
+  kReady,
+  kBlocked,     // waiting on recv/device/process-exit
+  kSuspended,   // created suspended or NtSuspendProcess'd
+  kTerminated,
+};
+
+const char* proc_state_name(ProcState s);
+
+/// What a blocked process is waiting for. The pending buffer describes the
+/// in-flight syscall that the kernel completes on wake-up.
+struct PendingWait {
+  enum class Kind { kNone, kRecv, kDevice, kProcExit };
+  Kind kind = Kind::kNone;
+  u32 id = 0;       // socket handle / device id / pid
+  VAddr buf = 0;
+  u32 len = 0;
+};
+
+/// Memory region bookkeeping (Windows VAD analogue). The CuckooBox/malfind
+/// baseline walks this plus the page tables to find suspicious regions.
+struct Region {
+  enum class Kind { kImage, kStack, kHeap, kAlloc };
+  Kind kind = Kind::kAlloc;
+  VAddr base = 0;
+  u32 len = 0;
+  u32 prot = 0;          // SysProt bits
+  std::string tag;       // image path for kImage
+};
+
+const char* region_kind_name(Region::Kind k);
+
+struct Handle {
+  enum class Kind { kFile, kSocket };
+  Kind kind = Kind::kFile;
+  std::string path;  // files
+  u32 sock_id = 0;   // sockets
+  u32 pos = 0;       // file cursor
+};
+
+struct Process {
+  Pid pid = 0;
+  Pid parent = 0;
+  std::string name;        // "notepad.exe"
+  std::string image_path;  // VFS path it was loaded from
+  vm::AddressSpace as;
+  vm::CpuState cpu;
+  ProcState state = ProcState::kReady;
+  u32 exit_code = 0;
+  PendingWait wait;
+  std::map<u32, Handle> handles;
+  u32 next_handle = 4;
+  VAddr alloc_cursor = 0;  // bump allocator for NtAllocateVirtualMemory
+  std::vector<Region> regions;
+  std::vector<std::string> debug_output;  // NtDebugPrint lines
+  u64 instr_retired = 0;  // per-process CPU accounting
+
+  osi::ProcessInfo info() const {
+    return osi::ProcessInfo{pid, parent, as.cr3(), name};
+  }
+
+  Region* region_containing(VAddr va) {
+    for (auto& r : regions) {
+      if (va >= r.base && va < r.base + r.len) return &r;
+    }
+    return nullptr;
+  }
+
+  bool alive() const { return state != ProcState::kTerminated; }
+};
+
+}  // namespace faros::os

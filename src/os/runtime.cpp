@@ -1,0 +1,201 @@
+#include "os/runtime.h"
+
+#include "os/syscalls.h"
+#include "vm/assembler.h"
+
+namespace faros::os {
+
+using vm::Assembler;
+using vm::Reg;
+
+namespace {
+
+/// Emits `movi r0, <num>; syscall; ret` — a thin ntdll syscall stub.
+void emit_syscall_stub(Assembler& a, const std::string& label, Sys num) {
+  a.label(label);
+  a.movi(Reg::R0, static_cast<u32>(num));
+  a.syscall_();
+  a.ret();
+}
+
+}  // namespace
+
+Result<Image> build_ntdll() {
+  ImageBuilder ib(sym::kNtdll, KernelLayout::kNtdllBase);
+  Assembler& a = ib.asm_();
+
+  // --- RtlGetProcAddress(r1 = module name hash, r2 = symbol hash) -> r0.
+  // Walks the module directory, then the matching module's export table,
+  // with plain LD32 instructions. The final load that fetches the function
+  // pointer reads export-table-tagged bytes.
+  a.label("RtlGetProcAddress");
+  a.movi(Reg::R3, KernelLayout::kModuleDir);
+  a.ld32(Reg::R4, Reg::R3, 0);  // module count
+  a.movi(Reg::R5, 0);           // module index
+  a.label("gpa_mod_loop");
+  a.cmp(Reg::R5, Reg::R4);
+  a.bgeu("gpa_not_found");
+  a.muli(Reg::R6, Reg::R5, KernelLayout::kModuleDirEntrySize);
+  a.add(Reg::R6, Reg::R6, Reg::R3);
+  a.addi(Reg::R6, Reg::R6, 4);  // &entry[i]
+  a.ld32(Reg::R7, Reg::R6, 0);  // entry.name_hash
+  a.cmp(Reg::R7, Reg::R1);
+  a.bne("gpa_next_mod");
+  a.ld32(Reg::R8, Reg::R6, 8);  // entry.exports_va
+  a.ld32(Reg::R9, Reg::R8, 0);  // export count
+  a.movi(Reg::R10, 0);          // export index
+  a.label("gpa_exp_loop");
+  a.cmp(Reg::R10, Reg::R9);
+  a.bgeu("gpa_not_found");
+  a.muli(Reg::R11, Reg::R10, 8);
+  a.add(Reg::R11, Reg::R11, Reg::R8);
+  a.addi(Reg::R11, Reg::R11, 4);  // &export[j]
+  a.ld32(Reg::R12, Reg::R11, 0);  // export.hash
+  a.cmp(Reg::R12, Reg::R2);
+  a.bne("gpa_next_exp");
+  a.ld32(Reg::R0, Reg::R11, 4);  // export.addr — the tagged fn pointer
+  a.ret();
+  a.label("gpa_next_exp");
+  a.addi(Reg::R10, Reg::R10, 1);
+  a.jmp("gpa_exp_loop");
+  a.label("gpa_next_mod");
+  a.addi(Reg::R5, Reg::R5, 1);
+  a.jmp("gpa_mod_loop");
+  a.label("gpa_not_found");
+  a.movi(Reg::R0, 0);
+  a.ret();
+
+  // --- RtlMemcpy(r1 = dst, r2 = src, r3 = len): byte copy.
+  a.label("RtlMemcpy");
+  a.movi(Reg::R4, 0);
+  a.label("memcpy_loop");
+  a.cmp(Reg::R4, Reg::R3);
+  a.bgeu("memcpy_done");
+  a.add(Reg::R5, Reg::R2, Reg::R4);
+  a.ld8(Reg::R6, Reg::R5, 0);
+  a.add(Reg::R5, Reg::R1, Reg::R4);
+  a.st8(Reg::R5, 0, Reg::R6);
+  a.addi(Reg::R4, Reg::R4, 1);
+  a.jmp("memcpy_loop");
+  a.label("memcpy_done");
+  a.mov(Reg::R0, Reg::R1);
+  a.ret();
+
+  // --- RtlMemset(r1 = dst, r2 = value, r3 = len).
+  a.label("RtlMemset");
+  a.movi(Reg::R4, 0);
+  a.label("memset_loop");
+  a.cmp(Reg::R4, Reg::R3);
+  a.bgeu("memset_done");
+  a.add(Reg::R5, Reg::R1, Reg::R4);
+  a.st8(Reg::R5, 0, Reg::R2);
+  a.addi(Reg::R4, Reg::R4, 1);
+  a.jmp("memset_loop");
+  a.label("memset_done");
+  a.mov(Reg::R0, Reg::R1);
+  a.ret();
+
+  // --- syscall stubs (args already in r1..r4 per the kernel ABI).
+  emit_syscall_stub(a, "stub_alloc", Sys::kNtAllocateVirtualMemory);
+  emit_syscall_stub(a, "stub_writevm", Sys::kNtWriteVirtualMemory);
+  emit_syscall_stub(a, "stub_dbgprint", Sys::kNtDebugPrint);
+  emit_syscall_stub(a, "stub_recv", Sys::kNtRecv);
+  emit_syscall_stub(a, "stub_send", Sys::kNtSend);
+
+  // The module has no classic entry point; use the first function.
+  ib.set_entry("RtlGetProcAddress");
+
+  ib.export_symbol(sym::kGetProcAddress, "RtlGetProcAddress");
+  ib.export_symbol(sym::kMemcpy, "RtlMemcpy");
+  ib.export_symbol(sym::kMemset, "RtlMemset");
+  ib.export_symbol(sym::kAllocStub, "stub_alloc");
+  ib.export_symbol(sym::kWriteVmStub, "stub_writevm");
+  ib.export_symbol(sym::kDebugPrintStub, "stub_dbgprint");
+  ib.export_symbol(sym::kRecvStub, "stub_recv");
+  ib.export_symbol(sym::kSendStub, "stub_send");
+  return ib.build();
+}
+
+Result<Image> build_kernel32() {
+  ImageBuilder ib(sym::kKernel32, KernelLayout::kKernel32Base);
+  Assembler& a = ib.asm_();
+
+  // --- WinExec(r1 = path ptr) -> pid: spawn, not suspended.
+  a.label("WinExec");
+  a.movi(Reg::R2, 0);
+  a.movi(Reg::R0, static_cast<u32>(Sys::kNtCreateProcess));
+  a.syscall_();
+  a.ret();
+
+  // --- CreateFileA(r1 = path ptr) -> handle.
+  emit_syscall_stub(a, "CreateFileA", Sys::kNtCreateFile);
+  // --- ReadFile / WriteFile (r1 = h, r2 = buf, r3 = len) -> n.
+  emit_syscall_stub(a, "ReadFile", Sys::kNtReadFile);
+  emit_syscall_stub(a, "WriteFile", Sys::kNtWriteFile);
+
+  // --- VirtualAlloc(r1 = len, r2 = prot) -> va: Win32 argument order is
+  // reshuffled into the NT ABI (r1 = pid/self, r2 = len, r3 = prot).
+  a.label("VirtualAlloc");
+  a.mov(Reg::R3, Reg::R2);
+  a.mov(Reg::R2, Reg::R1);
+  a.movi(Reg::R1, 0);
+  a.movi(Reg::R0, static_cast<u32>(Sys::kNtAllocateVirtualMemory));
+  a.syscall_();
+  a.ret();
+
+  // --- LoadLibraryA(r1 = name ptr) -> module base.
+  emit_syscall_stub(a, "LoadLibraryA", Sys::kNtLoadLibrary);
+
+  // --- GetProcAddress(r1 = module hash, r2 = symbol hash) -> addr:
+  // tail-calls ntdll!RtlGetProcAddress (which sits at the module base).
+  a.label("GetProcAddress");
+  a.movi(Reg::R5, KernelLayout::kNtdllBase);
+  a.jr(Reg::R5);
+
+  // --- GetTickCount() -> instruction-count ticks.
+  emit_syscall_stub(a, "GetTickCount", Sys::kNtGetTick);
+
+  // --- Sleep(r1 = rounds): yields r1 times.
+  a.label("Sleep");
+  a.mov(Reg::R4, Reg::R1);
+  a.label("sleep_loop");
+  a.cmpi(Reg::R4, 0);
+  a.beq("sleep_done");
+  a.movi(Reg::R0, static_cast<u32>(Sys::kNtYield));
+  a.syscall_();
+  a.subi(Reg::R4, Reg::R4, 1);
+  a.jmp("sleep_loop");
+  a.label("sleep_done");
+  a.ret();
+
+  ib.set_entry("WinExec");
+  ib.export_symbol(sym::kWinExec, "WinExec");
+  ib.export_symbol(sym::kCreateFileA, "CreateFileA");
+  ib.export_symbol(sym::kReadFile, "ReadFile");
+  ib.export_symbol(sym::kWriteFile, "WriteFile");
+  ib.export_symbol(sym::kVirtualAlloc, "VirtualAlloc");
+  ib.export_symbol(sym::kLoadLibraryA, "LoadLibraryA");
+  ib.export_symbol(sym::kGetProcAddressK32, "GetProcAddress");
+  ib.export_symbol(sym::kGetTickCount, "GetTickCount");
+  ib.export_symbol(sym::kSleep, "Sleep");
+  return ib.build();
+}
+
+Result<Image> build_user32() {
+  ImageBuilder ib(sym::kUser32, KernelLayout::kUser32Base);
+  Assembler& a = ib.asm_();
+
+  // --- MessageBoxA(r1 = text ptr, r2 = len): shows a "pop-up" by routing
+  // to NtDebugPrint. Reflective payloads resolve and call this to signal a
+  // successful injection, mirroring the paper's Metasploit experiment.
+  a.label("MessageBoxA");
+  a.movi(Reg::R0, static_cast<u32>(Sys::kNtDebugPrint));
+  a.syscall_();
+  a.ret();
+
+  ib.set_entry("MessageBoxA");
+  ib.export_symbol(sym::kMessageBox, "MessageBoxA");
+  return ib.build();
+}
+
+}  // namespace faros::os

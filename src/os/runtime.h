@@ -1,0 +1,64 @@
+// Guest runtime modules ("ntdll.dll", "user32.dll") built at boot and mapped
+// into the shared kernel half of every address space, each with a
+// guest-memory export table the loader materialises.
+//
+// RtlGetProcAddress is the load-bearing piece: it resolves a symbol by
+// walking the module directory and export tables with ordinary guest LD32
+// instructions — the exact access pattern FAROS' export-table invariant
+// keys on. Reflectively injected payloads call it (or inline the same walk)
+// to link themselves, just as real reflective DLLs parse the host process'
+// export tables.
+#pragma once
+
+#include "common/hash.h"
+#include "os/image.h"
+
+namespace faros::os {
+
+/// Fixed kernel-half layout (see DESIGN.md).
+struct KernelLayout {
+  static constexpr VAddr kModuleDir = 0xC0002000;
+  static constexpr u32 kModuleDirEntrySize = 16;  // hash, base, exports, count
+  static constexpr VAddr kNtdllBase = 0xC0100000;
+  static constexpr VAddr kUser32Base = 0xC0200000;
+  static constexpr VAddr kKernel32Base = 0xC0300000;
+  static constexpr VAddr kKernelTablesEnd = 0xC1000000;  // pre-built PDEs
+};
+
+/// Well-known symbol names (hash with fnv1a32 to match export tables).
+namespace sym {
+inline constexpr const char* kNtdll = "ntdll.dll";
+inline constexpr const char* kUser32 = "user32.dll";
+inline constexpr const char* kGetProcAddress = "RtlGetProcAddress";
+inline constexpr const char* kMemcpy = "RtlMemcpy";
+inline constexpr const char* kMemset = "RtlMemset";
+inline constexpr const char* kAllocStub = "NtAllocateVirtualMemory";
+inline constexpr const char* kWriteVmStub = "NtWriteVirtualMemory";
+inline constexpr const char* kDebugPrintStub = "NtDebugPrint";
+inline constexpr const char* kRecvStub = "NtRecv";
+inline constexpr const char* kSendStub = "NtSend";
+inline constexpr const char* kMessageBox = "MessageBoxA";
+inline constexpr const char* kKernel32 = "kernel32.dll";
+inline constexpr const char* kWinExec = "WinExec";
+inline constexpr const char* kCreateFileA = "CreateFileA";
+inline constexpr const char* kReadFile = "ReadFile";
+inline constexpr const char* kWriteFile = "WriteFile";
+inline constexpr const char* kVirtualAlloc = "VirtualAlloc";
+inline constexpr const char* kLoadLibraryA = "LoadLibraryA";
+inline constexpr const char* kGetProcAddressK32 = "GetProcAddress";
+inline constexpr const char* kGetTickCount = "GetTickCount";
+inline constexpr const char* kSleep = "Sleep";
+}  // namespace sym
+
+/// Builds the ntdll.dll image (assembled for KernelLayout::kNtdllBase).
+Result<Image> build_ntdll();
+
+/// Builds the user32.dll image (assembled for KernelLayout::kUser32Base).
+Result<Image> build_user32();
+
+/// Builds the kernel32.dll image: Win32-style wrappers over the NT syscall
+/// layer (argument reshuffling, tail-call to ntdll for GetProcAddress) —
+/// the API surface real reflective loaders resolve.
+Result<Image> build_kernel32();
+
+}  // namespace faros::os

@@ -1,0 +1,58 @@
+#include "os/syscalls.h"
+
+namespace faros::os {
+
+const char* syscall_name(u32 number) {
+  switch (static_cast<Sys>(number)) {
+    case Sys::kNtCreateFile: return "NtCreateFile";
+    case Sys::kNtOpenFile: return "NtOpenFile";
+    case Sys::kNtReadFile: return "NtReadFile";
+    case Sys::kNtWriteFile: return "NtWriteFile";
+    case Sys::kNtCloseHandle: return "NtCloseHandle";
+    case Sys::kNtDeleteFile: return "NtDeleteFile";
+    case Sys::kNtSeekFile: return "NtSeekFile";
+    case Sys::kNtQueryFileSize: return "NtQueryFileSize";
+    case Sys::kNtRenameFile: return "NtRenameFile";
+    case Sys::kNtTruncateFile: return "NtTruncateFile";
+    case Sys::kNtFlushFile: return "NtFlushFile";
+    case Sys::kNtQueryFileVersion: return "NtQueryFileVersion";
+    case Sys::kNtReadFileAt: return "NtReadFileAt";
+    case Sys::kNtWriteFileAt: return "NtWriteFileAt";
+    case Sys::kNtQueryFileExists: return "NtQueryFileExists";
+    case Sys::kNtAllocateVirtualMemory: return "NtAllocateVirtualMemory";
+    case Sys::kNtProtectVirtualMemory: return "NtProtectVirtualMemory";
+    case Sys::kNtFreeVirtualMemory: return "NtFreeVirtualMemory";
+    case Sys::kNtReadVirtualMemory: return "NtReadVirtualMemory";
+    case Sys::kNtWriteVirtualMemory: return "NtWriteVirtualMemory";
+    case Sys::kNtUnmapViewOfSection: return "NtUnmapViewOfSection";
+    case Sys::kNtCreateProcess: return "NtCreateProcess";
+    case Sys::kNtSuspendProcess: return "NtSuspendProcess";
+    case Sys::kNtResumeProcess: return "NtResumeProcess";
+    case Sys::kNtTerminateProcess: return "NtTerminateProcess";
+    case Sys::kNtSetEntryPoint: return "NtSetEntryPoint";
+    case Sys::kNtGetCurrentPid: return "NtGetCurrentPid";
+    case Sys::kNtWaitProcess: return "NtWaitProcess";
+    case Sys::kNtOpenProcessByName: return "NtOpenProcessByName";
+    case Sys::kNtQueryProcessList: return "NtQueryProcessList";
+    case Sys::kNtResolveHost: return "NtResolveHost";
+    case Sys::kNtSocket: return "NtSocket";
+    case Sys::kNtConnect: return "NtConnect";
+    case Sys::kNtBind: return "NtBind";
+    case Sys::kNtSend: return "NtSend";
+    case Sys::kNtRecv: return "NtRecv";
+    case Sys::kNtPollRecv: return "NtPollRecv";
+    case Sys::kNtReadDevice: return "NtReadDevice";
+    case Sys::kNtDebugPrint: return "NtDebugPrint";
+    case Sys::kNtGetTick: return "NtGetTick";
+    case Sys::kNtYield: return "NtYield";
+    case Sys::kNtGetRandom: return "NtGetRandom";
+    case Sys::kNtExit: return "NtExit";
+    case Sys::kNtGetModuleDirectory: return "NtGetModuleDirectory";
+    case Sys::kNtLoadLibrary: return "NtLoadLibrary";
+    case Sys::kNtAddAtom: return "NtAddAtom";
+    case Sys::kNtGetAtom: return "NtGetAtom";
+  }
+  return "NtUnknown";
+}
+
+}  // namespace faros::os

@@ -1,0 +1,116 @@
+#include "os/vfs.h"
+
+#include <algorithm>
+
+namespace faros::os {
+
+Vfs::File* Vfs::find(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const Vfs::File* Vfs::find(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+u32 Vfs::create(const std::string& path, Bytes contents) {
+  File* f = find(path);
+  if (f) {
+    f->data = std::move(contents);
+    ++f->version;
+    return f->id;
+  }
+  u32 id = next_id_++;
+  files_[path] = File{id, std::move(contents), 0};
+  return id;
+}
+
+bool Vfs::exists(const std::string& path) const { return find(path) != nullptr; }
+
+Result<FileStat> Vfs::stat(const std::string& path) const {
+  const File* f = find(path);
+  if (!f) return Err<FileStat>("vfs: no such file '" + path + "'");
+  return FileStat{f->id, static_cast<u32>(f->data.size()), f->version};
+}
+
+Result<u32> Vfs::touch(const std::string& path) {
+  File* f = find(path);
+  if (!f) return Err<u32>("vfs: no such file '" + path + "'");
+  return ++f->version;
+}
+
+Result<u32> Vfs::read_at(const std::string& path, u32 offset,
+                         MutByteSpan out) const {
+  const File* f = find(path);
+  if (!f) return Err<u32>("vfs: no such file '" + path + "'");
+  if (offset >= f->data.size()) return 0u;
+  u32 n = std::min<u32>(static_cast<u32>(out.size()),
+                        static_cast<u32>(f->data.size()) - offset);
+  std::copy_n(f->data.begin() + offset, n, out.begin());
+  return n;
+}
+
+Result<void> Vfs::write_at(const std::string& path, u32 offset,
+                           ByteSpan data) {
+  File* f = find(path);
+  if (!f) return Err<void>("vfs: no such file '" + path + "'");
+  if (offset + data.size() > f->data.size()) {
+    f->data.resize(offset + data.size(), 0);
+  }
+  std::copy(data.begin(), data.end(), f->data.begin() + offset);
+  return Ok();
+}
+
+Result<void> Vfs::append(const std::string& path, ByteSpan data) {
+  File* f = find(path);
+  if (!f) return Err<void>("vfs: no such file '" + path + "'");
+  f->data.insert(f->data.end(), data.begin(), data.end());
+  return Ok();
+}
+
+Result<void> Vfs::truncate(const std::string& path, u32 new_size) {
+  File* f = find(path);
+  if (!f) return Err<void>("vfs: no such file '" + path + "'");
+  f->data.resize(new_size, 0);
+  return Ok();
+}
+
+Result<void> Vfs::remove(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Err<void>("vfs: no such file '" + path + "'");
+  }
+  return Ok();
+}
+
+Result<void> Vfs::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Err<void>("vfs: no such file '" + from + "'");
+  File f = std::move(it->second);
+  files_.erase(it);
+  ++f.version;
+  files_[to] = std::move(f);
+  return Ok();
+}
+
+Result<Bytes> Vfs::read_all(const std::string& path) const {
+  const File* f = find(path);
+  if (!f) return Err<Bytes>("vfs: no such file '" + path + "'");
+  return f->data;
+}
+
+std::vector<std::string> Vfs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, f] : files_) out.push_back(path);
+  return out;
+}
+
+std::optional<std::string> Vfs::path_for_id(u32 file_id) const {
+  for (const auto& [path, f] : files_) {
+    if (f.id == file_id) return path;
+  }
+  return std::nullopt;
+}
+
+}  // namespace faros::os

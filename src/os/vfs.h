@@ -1,0 +1,66 @@
+// In-memory virtual file system for the guest. Paths are Windows-flavoured
+// strings ("C:/Windows/System32/svchost.exe"). Every file carries a stable
+// id (used to key FAROS' file shadow provenance) and an access version
+// counter (the paper's file-tag "version: how many times a file has been
+// accessed").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace faros::os {
+
+struct FileStat {
+  u32 file_id = 0;
+  u32 size = 0;
+  u32 version = 0;
+};
+
+class Vfs {
+ public:
+  /// Creates (or truncates) a file. Returns its id.
+  u32 create(const std::string& path, Bytes contents = {});
+
+  bool exists(const std::string& path) const;
+  Result<FileStat> stat(const std::string& path) const;
+
+  /// Bumps the access version (called on open). Returns the new version.
+  Result<u32> touch(const std::string& path);
+
+  Result<u32> read_at(const std::string& path, u32 offset,
+                      MutByteSpan out) const;
+  /// Extends the file when writing past EOF.
+  Result<void> write_at(const std::string& path, u32 offset, ByteSpan data);
+  Result<void> append(const std::string& path, ByteSpan data);
+  Result<void> truncate(const std::string& path, u32 new_size);
+  Result<void> remove(const std::string& path);
+  Result<void> rename(const std::string& from, const std::string& to);
+
+  /// Whole-file read (host-side convenience for the loader).
+  Result<Bytes> read_all(const std::string& path) const;
+
+  std::vector<std::string> list() const;
+  std::optional<std::string> path_for_id(u32 file_id) const;
+
+  size_t file_count() const { return files_.size(); }
+
+ private:
+  struct File {
+    u32 id;
+    Bytes data;
+    u32 version = 0;
+  };
+
+  File* find(const std::string& path);
+  const File* find(const std::string& path) const;
+
+  std::map<std::string, File> files_;
+  u32 next_id_ = 1;
+};
+
+}  // namespace faros::os

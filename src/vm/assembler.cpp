@@ -1,0 +1,180 @@
+#include "vm/assembler.h"
+
+#include "common/strings.h"
+
+namespace faros::vm {
+
+void Assembler::emit(Opcode op, u8 rd, u8 rs1, u8 rs2, u32 imm) {
+  Instruction insn{op, rd, rs1, rs2, imm};
+  encode(insn, out_);
+}
+
+void Assembler::emit_label(Opcode op, u8 rd, u8 rs1, u8 rs2,
+                           const std::string& label, FixKind kind) {
+  fixups_.push_back(Fixup{size(), label, kind});
+  emit(op, rd, rs1, rs2, 0);
+}
+
+void Assembler::nop() { emit(Opcode::kNop, 0, 0, 0, 0); }
+void Assembler::halt() { emit(Opcode::kHalt, 0, 0, 0, 0); }
+void Assembler::brk() { emit(Opcode::kBrk, 0, 0, 0, 0); }
+void Assembler::syscall_() { emit(Opcode::kSyscall, 0, 0, 0, 0); }
+void Assembler::movi(Reg rd, u32 imm) { emit(Opcode::kMovi, rd, 0, 0, imm); }
+void Assembler::mov(Reg rd, Reg rs) { emit(Opcode::kMov, rd, rs, 0, 0); }
+
+void Assembler::movi_label(Reg rd, const std::string& label) {
+  emit_label(Opcode::kMovi, rd, 0, 0, label, FixKind::kAbs);
+}
+
+void Assembler::addpc_label(Reg rd, const std::string& label) {
+  emit_label(Opcode::kAddPc, rd, 0, 0, label, FixKind::kRelNext);
+}
+
+void Assembler::ld8(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd8, rd, base, 0, static_cast<u32>(off));
+}
+void Assembler::ld16(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd16, rd, base, 0, static_cast<u32>(off));
+}
+void Assembler::ld32(Reg rd, Reg base, i32 off) {
+  emit(Opcode::kLd32, rd, base, 0, static_cast<u32>(off));
+}
+void Assembler::st8(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt8, 0, base, src, static_cast<u32>(off));
+}
+void Assembler::st16(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt16, 0, base, src, static_cast<u32>(off));
+}
+void Assembler::st32(Reg base, i32 off, Reg src) {
+  emit(Opcode::kSt32, 0, base, src, static_cast<u32>(off));
+}
+void Assembler::push(Reg rs) { emit(Opcode::kPush, 0, rs, 0, 0); }
+void Assembler::pop(Reg rd) { emit(Opcode::kPop, rd, 0, 0, 0); }
+
+void Assembler::add(Reg rd, Reg a, Reg b) { emit(Opcode::kAdd, rd, a, b, 0); }
+void Assembler::sub(Reg rd, Reg a, Reg b) { emit(Opcode::kSub, rd, a, b, 0); }
+void Assembler::mul(Reg rd, Reg a, Reg b) { emit(Opcode::kMul, rd, a, b, 0); }
+void Assembler::divu(Reg rd, Reg a, Reg b) {
+  emit(Opcode::kDivu, rd, a, b, 0);
+}
+void Assembler::and_(Reg rd, Reg a, Reg b) { emit(Opcode::kAnd, rd, a, b, 0); }
+void Assembler::or_(Reg rd, Reg a, Reg b) { emit(Opcode::kOr, rd, a, b, 0); }
+void Assembler::xor_(Reg rd, Reg a, Reg b) { emit(Opcode::kXor, rd, a, b, 0); }
+void Assembler::shl(Reg rd, Reg a, Reg b) { emit(Opcode::kShl, rd, a, b, 0); }
+void Assembler::shr(Reg rd, Reg a, Reg b) { emit(Opcode::kShr, rd, a, b, 0); }
+
+void Assembler::addi(Reg rd, Reg a, i32 imm) {
+  emit(Opcode::kAddi, rd, a, 0, static_cast<u32>(imm));
+}
+void Assembler::subi(Reg rd, Reg a, i32 imm) {
+  emit(Opcode::kSubi, rd, a, 0, static_cast<u32>(imm));
+}
+void Assembler::muli(Reg rd, Reg a, i32 imm) {
+  emit(Opcode::kMuli, rd, a, 0, static_cast<u32>(imm));
+}
+void Assembler::andi(Reg rd, Reg a, u32 imm) {
+  emit(Opcode::kAndi, rd, a, 0, imm);
+}
+void Assembler::ori(Reg rd, Reg a, u32 imm) {
+  emit(Opcode::kOri, rd, a, 0, imm);
+}
+void Assembler::xori(Reg rd, Reg a, u32 imm) {
+  emit(Opcode::kXori, rd, a, 0, imm);
+}
+void Assembler::shli(Reg rd, Reg a, u32 imm) {
+  emit(Opcode::kShli, rd, a, 0, imm);
+}
+void Assembler::shri(Reg rd, Reg a, u32 imm) {
+  emit(Opcode::kShri, rd, a, 0, imm);
+}
+
+void Assembler::cmp(Reg a, Reg b) { emit(Opcode::kCmp, 0, a, b, 0); }
+void Assembler::cmpi(Reg a, i32 imm) {
+  emit(Opcode::kCmpi, 0, a, 0, static_cast<u32>(imm));
+}
+
+void Assembler::jmp(const std::string& label) {
+  emit_label(Opcode::kJmp, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::jr(Reg r) { emit(Opcode::kJr, 0, r, 0, 0); }
+void Assembler::beq(const std::string& label) {
+  emit_label(Opcode::kBeq, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::bne(const std::string& label) {
+  emit_label(Opcode::kBne, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::blt(const std::string& label) {
+  emit_label(Opcode::kBlt, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::bge(const std::string& label) {
+  emit_label(Opcode::kBge, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::bltu(const std::string& label) {
+  emit_label(Opcode::kBltu, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::bgeu(const std::string& label) {
+  emit_label(Opcode::kBgeu, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::call(const std::string& label) {
+  emit_label(Opcode::kCall, 0, 0, 0, label, FixKind::kRelNext);
+}
+void Assembler::callr(Reg r) { emit(Opcode::kCallr, 0, r, 0, 0); }
+void Assembler::ret() { emit(Opcode::kRet, 0, 0, 0, 0); }
+
+void Assembler::label(const std::string& name) { labels_[name] = size(); }
+
+void Assembler::data(ByteSpan bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void Assembler::data_str(const std::string& s, bool nul_terminate) {
+  out_.insert(out_.end(), s.begin(), s.end());
+  if (nul_terminate) out_.push_back(0);
+}
+
+void Assembler::data_u32(u32 v) {
+  out_.push_back(static_cast<u8>(v & 0xff));
+  out_.push_back(static_cast<u8>((v >> 8) & 0xff));
+  out_.push_back(static_cast<u8>((v >> 16) & 0xff));
+  out_.push_back(static_cast<u8>((v >> 24) & 0xff));
+}
+
+void Assembler::zeros(u32 n) { out_.insert(out_.end(), n, 0); }
+
+void Assembler::align(u32 n) {
+  while (out_.size() % n != 0) out_.push_back(0);
+}
+
+Result<Bytes> Assembler::assemble(u32 base_va) const {
+  Bytes result = out_;
+  for (const Fixup& fix : fixups_) {
+    auto it = labels_.find(fix.label);
+    if (it == labels_.end()) {
+      return Err<Bytes>("assembler: undefined label '" + fix.label + "'");
+    }
+    u32 target = base_va + it->second;
+    u32 imm = 0;
+    switch (fix.kind) {
+      case FixKind::kAbs: imm = target; break;
+      case FixKind::kRelNext:
+        imm = target - (base_va + fix.insn_offset + kInsnSize);
+        break;
+    }
+    u32 at = fix.insn_offset + 4;
+    result[at] = static_cast<u8>(imm & 0xff);
+    result[at + 1] = static_cast<u8>((imm >> 8) & 0xff);
+    result[at + 2] = static_cast<u8>((imm >> 16) & 0xff);
+    result[at + 3] = static_cast<u8>((imm >> 24) & 0xff);
+  }
+  return result;
+}
+
+Result<u32> Assembler::label_offset(const std::string& name) const {
+  auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    return Err<u32>("assembler: unknown label '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace faros::vm

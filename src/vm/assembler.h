@@ -1,0 +1,109 @@
+// In-repo assembler for FV32 guest programs. All guest code in the
+// reproduction — the runtime library, benign workloads, and the attack
+// payloads — is written against this builder API and assembled into image
+// sections or raw shellcode blobs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "vm/isa.h"
+
+namespace faros::vm {
+
+class Assembler {
+ public:
+  // --- misc ---
+  void nop();
+  void halt();
+  void brk();
+  void syscall_();
+  void movi(Reg rd, u32 imm);
+  void mov(Reg rd, Reg rs);
+  /// rd = absolute address of `label` (patched at assemble time).
+  void movi_label(Reg rd, const std::string& label);
+  /// rd = address of `label`, computed PC-relative (position independent).
+  void addpc_label(Reg rd, const std::string& label);
+
+  // --- memory ---
+  void ld8(Reg rd, Reg base, i32 off = 0);
+  void ld16(Reg rd, Reg base, i32 off = 0);
+  void ld32(Reg rd, Reg base, i32 off = 0);
+  void st8(Reg base, i32 off, Reg src);
+  void st16(Reg base, i32 off, Reg src);
+  void st32(Reg base, i32 off, Reg src);
+  void push(Reg rs);
+  void pop(Reg rd);
+
+  // --- ALU ---
+  void add(Reg rd, Reg a, Reg b);
+  void sub(Reg rd, Reg a, Reg b);
+  void mul(Reg rd, Reg a, Reg b);
+  void divu(Reg rd, Reg a, Reg b);
+  void and_(Reg rd, Reg a, Reg b);
+  void or_(Reg rd, Reg a, Reg b);
+  void xor_(Reg rd, Reg a, Reg b);
+  void shl(Reg rd, Reg a, Reg b);
+  void shr(Reg rd, Reg a, Reg b);
+  void addi(Reg rd, Reg a, i32 imm);
+  void subi(Reg rd, Reg a, i32 imm);
+  void muli(Reg rd, Reg a, i32 imm);
+  void andi(Reg rd, Reg a, u32 imm);
+  void ori(Reg rd, Reg a, u32 imm);
+  void xori(Reg rd, Reg a, u32 imm);
+  void shli(Reg rd, Reg a, u32 imm);
+  void shri(Reg rd, Reg a, u32 imm);
+
+  // --- compare & branch (label targets are PC-relative) ---
+  void cmp(Reg a, Reg b);
+  void cmpi(Reg a, i32 imm);
+  void jmp(const std::string& label);
+  void jr(Reg r);
+  void beq(const std::string& label);
+  void bne(const std::string& label);
+  void blt(const std::string& label);
+  void bge(const std::string& label);
+  void bltu(const std::string& label);
+  void bgeu(const std::string& label);
+  void call(const std::string& label);
+  void callr(Reg r);
+  void ret();
+
+  // --- layout ---
+  void label(const std::string& name);
+  /// Emits raw bytes (data blobs). Call align(8) before code follows.
+  void data(ByteSpan bytes);
+  void data_str(const std::string& s, bool nul_terminate = true);
+  void data_u32(u32 v);
+  void zeros(u32 n);
+  void align(u32 n);
+
+  u32 size() const { return static_cast<u32>(out_.size()); }
+
+  /// Resolves all labels against `base_va` and returns the final bytes.
+  Result<Bytes> assemble(u32 base_va) const;
+
+  /// Offset of a label within the assembled output.
+  Result<u32> label_offset(const std::string& name) const;
+
+ private:
+  enum class FixKind { kAbs, kRelNext };
+  struct Fixup {
+    u32 insn_offset;  // offset of the instruction start
+    std::string label;
+    FixKind kind;
+  };
+
+  void emit(Opcode op, u8 rd, u8 rs1, u8 rs2, u32 imm);
+  void emit_label(Opcode op, u8 rd, u8 rs1, u8 rs2, const std::string& label,
+                  FixKind kind);
+
+  Bytes out_;
+  std::map<std::string, u32> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace faros::vm

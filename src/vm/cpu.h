@@ -1,0 +1,142 @@
+// FV32 interpreter with instruction-level analysis hooks — the moral
+// equivalent of PANDA's instrumented QEMU: an attached plugin observes every
+// retired instruction (grouped into basic blocks) together with its memory
+// access, which is all the FAROS taint engine needs.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "vm/isa.h"
+#include "vm/mmu.h"
+#include "vm/phys_mem.h"
+
+namespace faros::vm {
+
+/// Architectural register state of one hardware thread.
+struct CpuState {
+  u32 regs[kNumRegs] = {};
+  bool flag_eq = false;
+  bool flag_lt_s = false;
+  bool flag_lt_u = false;
+
+  u32 pc() const { return regs[PC]; }
+  void set_pc(u32 v) { regs[PC] = v; }
+};
+
+/// Why Interpreter::run returned.
+enum class StepResult {
+  kBudget,   // instruction budget exhausted (scheduler quantum over)
+  kSyscall,  // SYSCALL retired; pc already advanced past it
+  kHalt,     // HALT retired
+  kTrap,     // the instruction trapped; see TrapKind/Fault
+};
+
+enum class TrapKind {
+  kNone,
+  kMemFault,      // translation/protection failure; Fault has details
+  kBadOpcode,
+  kDivZero,
+  kPcMisaligned,  // pc not 8-byte aligned
+  kBreak,         // BRK retired
+};
+
+const char* trap_kind_name(TrapKind kind);
+
+struct StepInfo {
+  StepResult result = StepResult::kBudget;
+  TrapKind trap = TrapKind::kNone;
+  Fault fault;       // valid when trap == kMemFault
+  VAddr pc = 0;      // pc of the instruction that stopped execution
+  u64 executed = 0;  // instructions retired by this run() call
+};
+
+/// Memory access performed by a retired instruction.
+struct MemAccess {
+  VAddr va = 0;
+  PAddr pa = 0;  // physical address of the first byte
+  u8 size = 0;
+  bool is_write = false;
+};
+
+/// Everything an analysis plugin learns about one retired instruction.
+struct InsnEvent {
+  u64 instr_index = 0;  // global retired-instruction counter
+  PAddr cr3 = 0;        // address space identity (the process tag source)
+  VAddr pc = 0;
+  PAddr pc_pa = 0;      // physical address of the instruction bytes
+  Instruction insn;
+  std::optional<MemAccess> mem;
+  u32 rs1_val = 0;  // pre-execution operand values
+  u32 rs2_val = 0;
+};
+
+/// Plugin interface. Callbacks fire during replay/execution in retirement
+/// order; `as` is valid only for the duration of the call.
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+  /// A new basic block begins at `pc` in the space identified by `cr3`.
+  virtual void on_block_begin(PAddr cr3, VAddr pc) {
+    (void)cr3;
+    (void)pc;
+  }
+  /// One instruction retired.
+  virtual void on_insn_retired(const InsnEvent& ev, const AddressSpace& as) {
+    (void)ev;
+    (void)as;
+  }
+};
+
+/// Executes guest instructions. Holds the global instruction counter that
+/// record/replay keys on; the counter survives across processes.
+class Interpreter {
+ public:
+  explicit Interpreter(PhysMem& mem) : mem_(&mem) {}
+
+  void set_hooks(ExecHooks* hooks) { hooks_ = hooks; }
+  ExecHooks* hooks() const { return hooks_; }
+
+  u64 instr_count() const { return instr_count_; }
+
+  /// Runs at most `max_insns` instructions of `cpu` inside `as`.
+  StepInfo run(CpuState& cpu, const AddressSpace& as, u64 max_insns);
+
+  /// Number of basic blocks entered so far (for tests/stats).
+  u64 block_count() const { return block_count_; }
+
+  u64 tlb_hits() const { return tlb_hits_; }
+  u64 tlb_misses() const { return tlb_misses_; }
+
+ private:
+  StepInfo exec_one(CpuState& cpu, const AddressSpace& as);
+
+  bool mem_read(const AddressSpace& as, VAddr va, unsigned size, u32* value,
+                PAddr* first_pa, Fault* fault);
+  bool mem_write(const AddressSpace& as, VAddr va, unsigned size, u32 value,
+                 PAddr* first_pa, Fault* fault);
+
+  /// TLB-backed user-mode translation. The TLB is flushed at every run()
+  /// entry: page tables only change in kernel context, between quanta.
+  std::optional<PAddr> translate_cached(const AddressSpace& as, VAddr va,
+                                        AccessType type, Fault* fault);
+  void flush_tlb();
+
+  struct TlbEntry {
+    PAddr cr3 = ~0ull;
+    u32 vpn = 0;
+    u32 pte = 0;
+  };
+  static constexpr u32 kTlbSize = 64;  // direct mapped, power of two
+
+  PhysMem* mem_;
+  ExecHooks* hooks_ = nullptr;
+  u64 instr_count_ = 0;
+  u64 block_count_ = 0;
+  bool at_block_start_ = true;
+  TlbEntry tlb_[kTlbSize];
+  u64 tlb_hits_ = 0;
+  u64 tlb_misses_ = 0;
+};
+
+}  // namespace faros::vm

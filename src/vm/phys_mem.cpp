@@ -1,0 +1,113 @@
+#include "vm/phys_mem.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace faros::vm {
+
+PhysMem::PhysMem(u32 size_bytes) : ram_(page_ceil(size_bytes), 0) {
+  assert(size_bytes > 0);
+}
+
+u8 PhysMem::read8(PAddr pa) const {
+  assert(contains(pa, 1));
+  return ram_[pa];
+}
+
+u16 PhysMem::read16(PAddr pa) const {
+  assert(contains(pa, 2));
+  return static_cast<u16>(ram_[pa]) | (static_cast<u16>(ram_[pa + 1]) << 8);
+}
+
+u32 PhysMem::read32(PAddr pa) const {
+  assert(contains(pa, 4));
+  return static_cast<u32>(ram_[pa]) | (static_cast<u32>(ram_[pa + 1]) << 8) |
+         (static_cast<u32>(ram_[pa + 2]) << 16) |
+         (static_cast<u32>(ram_[pa + 3]) << 24);
+}
+
+void PhysMem::write8(PAddr pa, u8 v) {
+  assert(contains(pa, 1));
+  ram_[pa] = v;
+}
+
+void PhysMem::write16(PAddr pa, u16 v) {
+  assert(contains(pa, 2));
+  ram_[pa] = static_cast<u8>(v & 0xff);
+  ram_[pa + 1] = static_cast<u8>(v >> 8);
+}
+
+void PhysMem::write32(PAddr pa, u32 v) {
+  assert(contains(pa, 4));
+  ram_[pa] = static_cast<u8>(v & 0xff);
+  ram_[pa + 1] = static_cast<u8>((v >> 8) & 0xff);
+  ram_[pa + 2] = static_cast<u8>((v >> 16) & 0xff);
+  ram_[pa + 3] = static_cast<u8>((v >> 24) & 0xff);
+}
+
+void PhysMem::read(PAddr pa, MutByteSpan out) const {
+  assert(contains(pa, static_cast<u32>(out.size())));
+  std::memcpy(out.data(), ram_.data() + pa, out.size());
+}
+
+void PhysMem::write(PAddr pa, ByteSpan data) {
+  assert(contains(pa, static_cast<u32>(data.size())));
+  std::memcpy(ram_.data() + pa, data.data(), data.size());
+}
+
+ByteSpan PhysMem::span(PAddr pa, u32 len) const {
+  assert(contains(pa, len));
+  return ByteSpan(ram_.data() + pa, len);
+}
+
+FrameAllocator::FrameAllocator(u32 num_frames)
+    : used_(num_frames, false), free_count_(num_frames) {}
+
+Result<PAddr> FrameAllocator::alloc() {
+  if (free_count_ == 0) return Err<PAddr>("out of physical frames");
+  for (u32 i = 0; i < used_.size(); ++i) {
+    u32 idx = (search_hint_ + i) % used_.size();
+    if (!used_[idx]) {
+      // Restart the scan from the beginning next time a lower frame is
+      // freed; determinism only requires a fixed policy, so lowest-first
+      // from hint is fine.
+      used_[idx] = true;
+      --free_count_;
+      search_hint_ = idx + 1;
+      return static_cast<PAddr>(idx) << kPageShift;
+    }
+  }
+  return Err<PAddr>("out of physical frames");
+}
+
+Result<void> FrameAllocator::alloc_many(u32 n, std::vector<PAddr>& out) {
+  if (free_count_ < n) return Err<void>("out of physical frames");
+  for (u32 i = 0; i < n; ++i) {
+    auto r = alloc();
+    if (!r.ok()) return Err<void>(r.error().message);
+    out.push_back(r.value());
+  }
+  return Ok();
+}
+
+void FrameAllocator::free(PAddr frame_base) {
+  u32 idx = static_cast<u32>(frame_base >> kPageShift);
+  assert(idx < used_.size() && used_[idx]);
+  used_[idx] = false;
+  ++free_count_;
+  if (idx < search_hint_) search_hint_ = idx;
+  if (on_free_) on_free_(frame_base);
+}
+
+void FrameAllocator::reserve(PAddr frame_base) {
+  u32 idx = static_cast<u32>(frame_base >> kPageShift);
+  assert(idx < used_.size());
+  if (!used_[idx]) {
+    used_[idx] = true;
+    --free_count_;
+  }
+}
+
+}  // namespace faros::vm

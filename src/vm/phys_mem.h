@@ -1,0 +1,83 @@
+// Guest physical memory plus a simple frame allocator. Physical addresses
+// are the canonical key for the DIFT shadow memory, exactly as in
+// PANDA's taint2.
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace faros::vm {
+
+inline constexpr u32 kPageSize = 4096;
+inline constexpr u32 kPageShift = 12;
+
+constexpr u32 page_floor(u32 addr) { return addr & ~(kPageSize - 1); }
+constexpr u32 page_offset(u32 addr) { return addr & (kPageSize - 1); }
+constexpr u32 page_ceil(u32 addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+/// Flat guest RAM. All reads/writes are bounds checked; the VM never maps
+/// beyond the configured size.
+class PhysMem {
+ public:
+  explicit PhysMem(u32 size_bytes);
+
+  u32 size() const { return static_cast<u32>(ram_.size()); }
+  u32 num_frames() const { return size() / kPageSize; }
+
+  u8 read8(PAddr pa) const;
+  u16 read16(PAddr pa) const;
+  u32 read32(PAddr pa) const;
+  void write8(PAddr pa, u8 v);
+  void write16(PAddr pa, u16 v);
+  void write32(PAddr pa, u32 v);
+
+  /// Bulk accessors used by the kernel's taint-aware copy primitives.
+  void read(PAddr pa, MutByteSpan out) const;
+  void write(PAddr pa, ByteSpan data);
+
+  bool contains(PAddr pa, u32 len = 1) const {
+    return pa + len <= ram_.size() && pa + len >= pa;
+  }
+
+  ByteSpan span(PAddr pa, u32 len) const;
+
+ private:
+  Bytes ram_;
+};
+
+/// Bitmap frame allocator over guest RAM. Deterministic: always returns the
+/// lowest free frame, which record/replay depends on.
+class FrameAllocator {
+ public:
+  /// Observer invoked whenever a frame is freed. The FAROS shadow memory
+  /// subscribes so stale taint never survives frame recycling.
+  using FreeObserver = std::function<void(PAddr frame_base)>;
+
+  explicit FrameAllocator(u32 num_frames);
+
+  void set_free_observer(FreeObserver obs) { on_free_ = std::move(obs); }
+
+  /// Allocates one 4 KiB frame; returns its physical base address.
+  Result<PAddr> alloc();
+  /// Allocates `n` frames (not necessarily contiguous) into `out`.
+  Result<void> alloc_many(u32 n, std::vector<PAddr>& out);
+  void free(PAddr frame_base);
+
+  u32 free_frames() const { return free_count_; }
+  u32 total_frames() const { return static_cast<u32>(used_.size()); }
+
+  /// Marks a frame as permanently reserved (e.g. frame 0, boot structures).
+  void reserve(PAddr frame_base);
+
+ private:
+  std::vector<bool> used_;
+  u32 free_count_ = 0;
+  u32 search_hint_ = 0;
+  FreeObserver on_free_;
+};
+
+}  // namespace faros::vm

@@ -1,0 +1,25 @@
+#include "vm/tracer.h"
+
+#include "common/strings.h"
+
+namespace faros::vm {
+
+std::string Tracer::dump(size_t last_n) const {
+  std::string out;
+  size_t start = ring_.size() > last_n ? ring_.size() - last_n : 0;
+  for (size_t i = start; i < ring_.size(); ++i) {
+    const Entry& e = ring_[i];
+    out += strf("#%-8llu cr3=%s %s  %s",
+                static_cast<unsigned long long>(e.instr_index),
+                hex64(e.cr3).c_str(), hex32(e.pc).c_str(),
+                disassemble(e.insn).c_str());
+    if (e.has_mem) {
+      out += strf("   ; %s %s", e.mem_write ? "write" : "read",
+                  hex32(e.mem_va).c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace faros::vm

@@ -1,0 +1,427 @@
+// End-to-end information-flow tests for the engine through real guest
+// syscalls: the Figure-4 byte lifecycle (network -> P1 -> file -> P2),
+// cross-process reads, send-side process tagging, provenance caps, and
+// finding bookkeeping.
+#include <gtest/gtest.h>
+
+#include "attacks/guest_common.h"
+#include "attacks/scenarios.h"
+#include "core/engine.h"
+#include "os/machine.h"
+#include "os/runtime.h"
+
+namespace faros::core {
+namespace {
+
+using attacks::emit_sys;
+using os::ImageBuilder;
+using os::kUserImageBase;
+using os::Sys;
+using vm::Reg;
+
+constexpr FlowTuple kFlow{0xa9fe1aa1, 4444, 0xa9fe39a8, 49162};
+
+struct Env {
+  std::unique_ptr<os::Machine> machine;
+  std::unique_ptr<FarosEngine> engine;
+
+  explicit Env(Options opts) {
+    machine = std::make_unique<os::Machine>();
+    engine = std::make_unique<FarosEngine>(machine->kernel(), opts);
+    machine->attach_cpu_plugin(engine.get());
+    machine->add_monitor(engine.get());
+    EXPECT_TRUE(machine->boot().ok());
+  }
+
+  os::Pid spawn(const std::string& name,
+                const std::function<void(ImageBuilder&)>& build,
+                bool suspended = false) {
+    ImageBuilder ib(name, kUserImageBase);
+    build(ib);
+    auto img = ib.build();
+    EXPECT_TRUE(img.ok()) << (img.ok() ? "" : img.error().message);
+    machine->kernel().vfs().create("C:/" + name, img.value().serialize());
+    auto pid = machine->kernel().spawn("C:/" + name, suspended);
+    EXPECT_TRUE(pid.ok());
+    return pid.value_or(0);
+  }
+};
+
+Options quiet() {
+  Options o;
+  o.taint_mapped_images = false;
+  return o;
+}
+
+// Figure 4 of the paper: data comes in from the network into Process 1,
+// is written into File 1, which is read by Process 2 — the provenance list
+// of Process 2's buffer tells the whole story in order.
+TEST(EngineFlows, Figure4LifecycleAcrossFileSystem) {
+  Env env(quiet());
+  // writer.exe: recv 8 bytes, write them to C:/Temp/drop.bin, exit.
+  os::Pid writer = env.spawn("writer.exe", [](ImageBuilder& ib) {
+    auto& a = ib.asm_();
+    a.label("_start");
+    attacks::emit_connect(a, attacks::kAttackerIp, attacks::kAttackerPort);
+    a.movi_label(Reg::R9, "buf");
+    attacks::emit_recv(a, Reg::R9, 8);
+    a.movi_label(Reg::R1, "path");
+    emit_sys(a, Sys::kNtCreateFile);
+    a.mov(Reg::R8, Reg::R0);
+    a.mov(Reg::R1, Reg::R8);
+    a.movi_label(Reg::R2, "buf");
+    a.movi(Reg::R3, 8);
+    emit_sys(a, Sys::kNtWriteFile);
+    attacks::emit_exit(a, 0);
+    a.align(8);
+    a.label("path");
+    a.data_str("C:/Temp/drop.bin");
+    a.align(8);
+    a.label("buf");
+    a.zeros(8);
+  });
+  ASSERT_NE(writer, 0u);
+  // Run until the writer blocks on recv, then deliver the packet.
+  env.machine->run(50000);
+  FlowTuple reply{kFlow.src_ip, kFlow.src_port,
+                  env.machine->kernel().net().guest_ip(), 49162};
+  ASSERT_TRUE(env.machine->kernel().deliver_packet(reply,
+                                                   Bytes(8, 0x61)));
+  env.machine->run(50000);
+  ASSERT_EQ(env.machine->kernel().live_count(), 0u);
+
+  // reader.exe: read the file into memory and idle.
+  os::Pid reader = env.spawn("reader.exe", [](ImageBuilder& ib) {
+    auto& a = ib.asm_();
+    a.label("_start");
+    a.movi_label(Reg::R1, "path");
+    emit_sys(a, Sys::kNtOpenFile);
+    a.mov(Reg::R1, Reg::R0);
+    a.movi_label(Reg::R2, "buf");
+    a.movi(Reg::R3, 8);
+    emit_sys(a, Sys::kNtReadFile);
+    a.label("spin");
+    emit_sys(a, Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("path");
+    a.data_str("C:/Temp/drop.bin");
+    a.align(8);
+    a.label("buf");
+    a.zeros(8);
+  });
+  ASSERT_NE(reader, 0u);
+  env.machine->run(30000);
+
+  os::Process* p = env.machine->kernel().find(reader);
+  // The reader's buffer label sits at a deterministic location: find it by
+  // scanning the last image for the tainted bytes instead.
+  ProvListId id = kEmptyProv;
+  for (VAddr va = kUserImageBase; va < kUserImageBase + 0x1000; ++va) {
+    ProvListId cand = env.engine->prov_at(p->as, va);
+    if (cand != kEmptyProv &&
+        env.engine->store().contains_type(cand, TagType::kNetflow)) {
+      id = cand;
+      break;
+    }
+  }
+  ASSERT_NE(id, kEmptyProv) << "netflow taint lost across the file system";
+
+  const auto& tags = env.engine->store().get(id);
+  // Expected chronology: netflow, writer process, file, reader process.
+  std::vector<TagType> types;
+  for (const auto& t : tags) types.push_back(t.type());
+  ASSERT_GE(types.size(), 4u);
+  EXPECT_EQ(types[0], TagType::kNetflow);
+  EXPECT_EQ(types[1], TagType::kProcess);
+  // A file tag appears, and a second (distinct) process tag follows it.
+  EXPECT_TRUE(env.engine->store().contains_type(id, TagType::kFile));
+  EXPECT_EQ(env.engine->store().process_count(id), 2u);
+}
+
+TEST(EngineFlows, CrossProcessReadPropagatesTaint) {
+  Env env(quiet());
+  // victim holds tainted bytes; spy reads them with NtReadVirtualMemory.
+  os::Pid victim = env.spawn(
+      "victim.exe",
+      [](ImageBuilder& ib) {
+        auto& a = ib.asm_();
+        a.label("_start");
+        a.label("spin");
+        emit_sys(a, Sys::kNtYield);
+        a.jmp("spin");
+        a.align(8);
+        a.label("src");
+        a.zeros(16);
+      },
+      /*suspended=*/true);
+  os::Process* vp = env.machine->kernel().find(victim);
+  // Taint the victim's data region.
+  VAddr src = kUserImageBase + 3 * vm::kInsnSize;  // after 3 insns, aligned
+  src = (src + 7) & ~7u;
+  osi::GuestXfer xfer{vp->info(), &vp->as, src, 16};
+  env.engine->on_packet_to_guest(xfer, kFlow);
+  vp->state = os::ProcState::kReady;
+
+  os::Pid spy = env.spawn("spy.exe", [&](ImageBuilder& ib) {
+    auto& a = ib.asm_();
+    a.label("_start");
+    a.movi_label(Reg::R1, "vname");
+    emit_sys(a, Sys::kNtOpenProcessByName);
+    a.mov(Reg::R7, Reg::R0);
+    a.mov(Reg::R1, Reg::R7);
+    a.movi(Reg::R2, src);
+    a.movi_label(Reg::R3, "dst");
+    a.movi(Reg::R4, 16);
+    emit_sys(a, Sys::kNtReadVirtualMemory);
+    a.label("spin");
+    emit_sys(a, Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("vname");
+    a.data_str("victim.exe");
+    a.align(8);
+    a.label("dst");
+    a.zeros(16);
+  });
+  env.machine->run(30000);
+
+  os::Process* sp = env.machine->kernel().find(spy);
+  ProvListId id = kEmptyProv;
+  for (VAddr va = kUserImageBase; va < kUserImageBase + 0x1000; ++va) {
+    ProvListId cand = env.engine->prov_at(sp->as, va);
+    if (cand != kEmptyProv) {
+      id = cand;
+      break;
+    }
+  }
+  ASSERT_NE(id, kEmptyProv);
+  EXPECT_TRUE(env.engine->store().contains_type(id, TagType::kNetflow));
+  // The victim's tag rode along with the stolen bytes.
+  EXPECT_GE(env.engine->store().process_count(id), 1u);
+}
+
+TEST(EngineFlows, SendAppendsSenderProcessTag) {
+  Env env(quiet());
+  os::Pid pid = env.spawn(
+      "sender.exe",
+      [](ImageBuilder& ib) {
+        auto& a = ib.asm_();
+        a.label("_start");
+        attacks::emit_connect(a, attacks::kAttackerIp,
+                              attacks::kAttackerPort);
+        a.mov(Reg::R1, Reg::R10);
+        a.movi_label(Reg::R2, "src");
+        a.movi(Reg::R3, 8);
+        emit_sys(a, Sys::kNtSend);
+        a.label("spin");
+        emit_sys(a, Sys::kNtYield);
+        a.jmp("spin");
+        a.align(8);
+        a.label("src");
+        a.zeros(8);
+      },
+      /*suspended=*/true);
+  os::Process* p = env.machine->kernel().find(pid);
+  VAddr src = 0;
+  // Locate "src": last 8 bytes of the blob, 8-aligned. Recover by probing
+  // after the run instead — first taint a fixed window covering it.
+  // Simpler: taint the whole image data page; the send reads from src.
+  // Instead, find via the image: spawn() built it; use a second identical
+  // builder to resolve the label offset.
+  {
+    ImageBuilder probe("sender.exe", kUserImageBase);
+    auto& a = probe.asm_();
+    a.label("_start");
+    attacks::emit_connect(a, attacks::kAttackerIp, attacks::kAttackerPort);
+    a.mov(Reg::R1, Reg::R10);
+    a.movi_label(Reg::R2, "src");
+    a.movi(Reg::R3, 8);
+    emit_sys(a, Sys::kNtSend);
+    a.label("spin");
+    emit_sys(a, Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("src");
+    a.zeros(8);
+    src = kUserImageBase + probe.asm_().label_offset("src").value();
+  }
+  // Taint with a *netflow only* list (no process tag yet): hand-interned.
+  osi::GuestXfer xfer{p->info(), &p->as, src, 8};
+  // Use a foreign process' tag-less insertion: temporarily disable process
+  // tracking is global, so instead verify the *sender* tag gets appended
+  // on top of whatever insertion produced.
+  env.engine->on_packet_to_guest(xfer, kFlow);
+  p->state = os::ProcState::kReady;
+  env.machine->run(30000);
+
+  ProvListId id = env.engine->prov_at(p->as, src);
+  ASSERT_NE(id, kEmptyProv);
+  EXPECT_TRUE(env.engine->store().contains_type(id, TagType::kProcess));
+}
+
+TEST(EngineFlows, ProvListCapBoundsChainLength) {
+  Options o = quiet();
+  o.prov_list_cap = 3;
+  Env env(o);
+  // Chain: packet -> file write -> file read: would be 5+ tags uncapped.
+  os::Pid pid = env.spawn(
+      "capped.exe",
+      [](ImageBuilder& ib) {
+        auto& a = ib.asm_();
+        a.label("_start");
+        a.movi_label(Reg::R1, "path");
+        emit_sys(a, Sys::kNtCreateFile);
+        a.mov(Reg::R8, Reg::R0);
+        a.mov(Reg::R1, Reg::R8);
+        a.movi_label(Reg::R2, "src");
+        a.movi(Reg::R3, 8);
+        emit_sys(a, Sys::kNtWriteFile);
+        a.mov(Reg::R1, Reg::R8);
+        a.movi(Reg::R2, 0);
+        emit_sys(a, Sys::kNtSeekFile);
+        a.mov(Reg::R1, Reg::R8);
+        a.movi_label(Reg::R2, "dst");
+        a.movi(Reg::R3, 8);
+        emit_sys(a, Sys::kNtReadFile);
+        a.label("spin");
+        emit_sys(a, Sys::kNtYield);
+        a.jmp("spin");
+        a.align(8);
+        a.label("path");
+        a.data_str("C:/c.bin");
+        a.align(8);
+        a.label("src");
+        a.zeros(8);
+        a.label("dst");
+        a.zeros(8);
+      },
+      /*suspended=*/true);
+  os::Process* p = env.machine->kernel().find(pid);
+  // Locate src deterministically via an identical rebuild.
+  VAddr src_va = 0;
+  {
+    ImageBuilder p2("capped.exe", kUserImageBase);
+    auto& a = p2.asm_();
+    a.label("_start");
+    a.movi_label(Reg::R1, "path");
+    emit_sys(a, Sys::kNtCreateFile);
+    a.mov(Reg::R8, Reg::R0);
+    a.mov(Reg::R1, Reg::R8);
+    a.movi_label(Reg::R2, "src");
+    a.movi(Reg::R3, 8);
+    emit_sys(a, Sys::kNtWriteFile);
+    a.mov(Reg::R1, Reg::R8);
+    a.movi(Reg::R2, 0);
+    emit_sys(a, Sys::kNtSeekFile);
+    a.mov(Reg::R1, Reg::R8);
+    a.movi_label(Reg::R2, "dst");
+    a.movi(Reg::R3, 8);
+    emit_sys(a, Sys::kNtReadFile);
+    a.label("spin");
+    emit_sys(a, Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("path");
+    a.data_str("C:/c.bin");
+    a.align(8);
+    a.label("src");
+    a.zeros(8);
+    a.label("dst");
+    a.zeros(8);
+    src_va = kUserImageBase + p2.asm_().label_offset("src").value();
+  }
+  osi::GuestXfer tx{p->info(), &p->as, src_va, 8};
+  env.engine->on_packet_to_guest(tx, kFlow);
+  p->state = os::ProcState::kReady;
+  env.machine->run(30000);
+
+  // Every provenance list in the system respects the cap.
+  for (const auto& [pa, id] : env.engine->shadow().entries()) {
+    EXPECT_LE(env.engine->store().get(id).size(), 3u);
+  }
+  // And the dst bytes are still tainted (origin kept, tail dropped).
+  ProvListId id = env.engine->prov_at(p->as, src_va + 8 /* dst follows */);
+  ASSERT_NE(id, kEmptyProv);
+  EXPECT_EQ(env.engine->store().get(id)[0].type(), TagType::kNetflow);
+}
+
+TEST(EngineFlows, FindingsDedupPerSiteAndRespectCap) {
+  Options o;
+  o.max_findings = 1;
+  Env env(o);
+  // Run the full meterpreter attack via scenario plumbing but with the
+  // shared engine: simplest is a fresh analyze() call with these options.
+  attacks::ReflectiveDllScenario sc(attacks::ReflectiveVariant::kMeterpreter);
+  auto run = attacks::analyze(sc, o);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().flagged);
+  EXPECT_EQ(run.value().findings.size(), 1u);  // capped
+}
+
+TEST(EngineFlows, RegisterShadowIsPerProcess) {
+  Env env(quiet());
+  // Two processes each load from their own tainted buffer; the taint in
+  // one's registers must not leak into the other's stores.
+  auto make = [&](const std::string& name) {
+    return env.spawn(
+        name,
+        [](ImageBuilder& ib) {
+          auto& a = ib.asm_();
+          a.label("_start");
+          a.movi_label(Reg::R1, "src");
+          a.ld32(Reg::R2, Reg::R1, 0);
+          // Yield so the other process interleaves while r2 is "hot".
+          emit_sys(a, Sys::kNtYield);
+          a.movi_label(Reg::R3, "dst");
+          a.st32(Reg::R3, 0, Reg::R2);
+          a.label("spin");
+          emit_sys(a, Sys::kNtYield);
+          a.jmp("spin");
+          a.align(8);
+          a.label("src");
+          a.zeros(8);
+          a.label("dst");
+          a.zeros(8);
+        },
+        /*suspended=*/true);
+  };
+  os::Pid p1 = make("one.exe");
+  os::Pid p2 = make("two.exe");
+  os::Process* proc1 = env.machine->kernel().find(p1);
+  os::Process* proc2 = env.machine->kernel().find(p2);
+  // Same label layout: src at the same offset in both images.
+  VAddr src = 0;
+  {
+    ImageBuilder probe("one.exe", kUserImageBase);
+    auto& a = probe.asm_();
+    a.label("_start");
+    a.movi_label(Reg::R1, "src");
+    a.ld32(Reg::R2, Reg::R1, 0);
+    emit_sys(a, Sys::kNtYield);
+    a.movi_label(Reg::R3, "dst");
+    a.st32(Reg::R3, 0, Reg::R2);
+    a.label("spin");
+    emit_sys(a, Sys::kNtYield);
+    a.jmp("spin");
+    a.align(8);
+    a.label("src");
+    a.zeros(8);
+    a.label("dst");
+    a.zeros(8);
+    src = kUserImageBase + probe.asm_().label_offset("src").value();
+  }
+  // Taint ONLY process one's src.
+  osi::GuestXfer xfer{proc1->info(), &proc1->as, src, 4};
+  env.engine->on_packet_to_guest(xfer, kFlow);
+  proc1->state = os::ProcState::kReady;
+  proc2->state = os::ProcState::kReady;
+  env.machine->run(30000);
+
+  VAddr dst = src + 8;
+  EXPECT_NE(env.engine->prov_at(proc1->as, dst), kEmptyProv);
+  EXPECT_EQ(env.engine->prov_at(proc2->as, dst), kEmptyProv);
+}
+
+}  // namespace
+}  // namespace faros::core

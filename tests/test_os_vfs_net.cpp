@@ -1,0 +1,198 @@
+// VFS and network stack unit tests.
+#include <gtest/gtest.h>
+
+#include "os/netstack.h"
+#include "os/vfs.h"
+
+namespace faros::os {
+namespace {
+
+TEST(Vfs, CreateStatReadWrite) {
+  Vfs vfs;
+  u32 id = vfs.create("C:/a.txt", Bytes{'h', 'i'});
+  EXPECT_TRUE(vfs.exists("C:/a.txt"));
+  auto st = vfs.stat("C:/a.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().file_id, id);
+  EXPECT_EQ(st.value().size, 2u);
+  EXPECT_EQ(st.value().version, 0u);
+
+  Bytes buf(8);
+  auto n = vfs.read_at("C:/a.txt", 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 2u);
+  EXPECT_EQ(buf[0], 'h');
+
+  ASSERT_TRUE(vfs.write_at("C:/a.txt", 1, Bytes{'o', 'w'}).ok());
+  auto all = vfs.read_all("C:/a.txt");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value(), (Bytes{'h', 'o', 'w'}));
+}
+
+TEST(Vfs, WritePastEofExtends) {
+  Vfs vfs;
+  vfs.create("f", {});
+  ASSERT_TRUE(vfs.write_at("f", 4, Bytes{9}).ok());
+  auto st = vfs.stat("f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 5u);
+  Bytes buf(5);
+  ASSERT_TRUE(vfs.read_at("f", 0, buf).ok());
+  EXPECT_EQ(buf, (Bytes{0, 0, 0, 0, 9}));
+}
+
+TEST(Vfs, ReadAtOffsetBeyondEofReturnsZero) {
+  Vfs vfs;
+  vfs.create("f", Bytes{1, 2, 3});
+  Bytes buf(4);
+  auto n = vfs.read_at("f", 10, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(Vfs, TouchBumpsVersion) {
+  Vfs vfs;
+  vfs.create("f", {});
+  EXPECT_EQ(vfs.touch("f").value_or(0), 1u);
+  EXPECT_EQ(vfs.touch("f").value_or(0), 2u);
+  EXPECT_EQ(vfs.stat("f").value().version, 2u);
+}
+
+TEST(Vfs, RecreatePreservesIdBumpsVersion) {
+  Vfs vfs;
+  u32 id = vfs.create("f", Bytes{1});
+  u32 id2 = vfs.create("f", Bytes{2, 3});
+  EXPECT_EQ(id, id2);
+  EXPECT_EQ(vfs.stat("f").value().version, 1u);
+  EXPECT_EQ(vfs.stat("f").value().size, 2u);
+}
+
+TEST(Vfs, RenameDeleteTruncateAppend) {
+  Vfs vfs;
+  vfs.create("a", Bytes{1, 2, 3, 4});
+  ASSERT_TRUE(vfs.rename("a", "b").ok());
+  EXPECT_FALSE(vfs.exists("a"));
+  ASSERT_TRUE(vfs.truncate("b", 2).ok());
+  EXPECT_EQ(vfs.stat("b").value().size, 2u);
+  ASSERT_TRUE(vfs.append("b", Bytes{9}).ok());
+  EXPECT_EQ(vfs.stat("b").value().size, 3u);
+  ASSERT_TRUE(vfs.remove("b").ok());
+  EXPECT_FALSE(vfs.exists("b"));
+  EXPECT_FALSE(vfs.remove("b").ok());
+}
+
+TEST(Vfs, PathForIdAndList) {
+  Vfs vfs;
+  u32 id = vfs.create("x/y", {});
+  vfs.create("x/z", {});
+  EXPECT_EQ(vfs.path_for_id(id).value_or(""), "x/y");
+  EXPECT_FALSE(vfs.path_for_id(999).has_value());
+  EXPECT_EQ(vfs.list().size(), 2u);
+}
+
+TEST(Vfs, MissingFileErrors) {
+  Vfs vfs;
+  Bytes buf(4);
+  EXPECT_FALSE(vfs.read_at("nope", 0, buf).ok());
+  EXPECT_FALSE(vfs.write_at("nope", 0, buf).ok());
+  EXPECT_FALSE(vfs.stat("nope").ok());
+  EXPECT_FALSE(vfs.touch("nope").ok());
+}
+
+// --------------------------------------------------------------------------
+
+constexpr u32 kGuestIp = 0xa9fe39a8;
+constexpr u32 kRemoteIp = 0xa9fe1aa1;
+
+TEST(NetStack, ConnectAssignsDeterministicEphemeralPorts) {
+  NetStack net(kGuestIp);
+  SocketId s1 = net.create(1);
+  SocketId s2 = net.create(1);
+  auto f1 = net.connect(s1, kRemoteIp, 4444);
+  auto f2 = net.connect(s2, kRemoteIp, 4444);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(f1.value().src_port, 49162);  // paper's Table II flow
+  EXPECT_EQ(f2.value().src_port, 49163);
+  EXPECT_EQ(f1.value().src_ip, kGuestIp);
+  EXPECT_EQ(f1.value().dst_ip, kRemoteIp);
+}
+
+TEST(NetStack, DeliverToConnectedSocketByFlowMatch) {
+  NetStack net(kGuestIp);
+  SocketId s = net.create(1);
+  auto flow = net.connect(s, kRemoteIp, 4444);
+  ASSERT_TRUE(flow.ok());
+  FlowTuple reply{kRemoteIp, 4444, kGuestIp, flow.value().src_port};
+  EXPECT_TRUE(net.deliver(reply, Bytes{1, 2, 3}));
+  EXPECT_EQ(net.rx_available(s).value_or(0), 3u);
+  // Wrong remote port: dropped.
+  FlowTuple wrong{kRemoteIp, 5555, kGuestIp, flow.value().src_port};
+  EXPECT_FALSE(net.deliver(wrong, Bytes{9}));
+}
+
+TEST(NetStack, DeliverToBoundSocketByPort) {
+  NetStack net(kGuestIp);
+  SocketId s = net.create(2);
+  ASSERT_TRUE(net.bind(s, 8080).ok());
+  FlowTuple flow{kRemoteIp, 999, kGuestIp, 8080};
+  EXPECT_TRUE(net.deliver(flow, Bytes{7}));
+  EXPECT_EQ(net.rx_available(s).value_or(0), 1u);
+}
+
+TEST(NetStack, BindRejectsPortInUse) {
+  NetStack net(kGuestIp);
+  SocketId a = net.create(1);
+  SocketId b = net.create(1);
+  ASSERT_TRUE(net.bind(a, 80).ok());
+  EXPECT_FALSE(net.bind(b, 80).ok());
+}
+
+TEST(NetStack, ReadRxReturnsOneSegmentFlowAtATime) {
+  NetStack net(kGuestIp);
+  SocketId s = net.create(1);
+  auto flow = net.connect(s, kRemoteIp, 4444);
+  ASSERT_TRUE(flow.ok());
+  FlowTuple reply{kRemoteIp, 4444, kGuestIp, flow.value().src_port};
+  net.deliver(reply, Bytes{1, 2, 3, 4});
+  net.deliver(reply, Bytes{5, 6});
+
+  Bytes buf(3);
+  FlowTuple got;
+  auto n = net.read_rx(s, buf, &got);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);  // partial read of segment 1 only
+  EXPECT_EQ(got, reply);
+  n = net.read_rx(s, buf, &got);
+  EXPECT_EQ(n.value(), 1u);  // remainder of segment 1
+  Bytes buf2(10);
+  n = net.read_rx(s, buf2, &got);
+  EXPECT_EQ(n.value(), 2u);  // segment 2, not merged
+  n = net.read_rx(s, buf2, &got);
+  EXPECT_EQ(n.value(), 0u);  // empty
+}
+
+TEST(NetStack, SendRequiresConnectionAndRecordsOutbound) {
+  NetStack net(kGuestIp);
+  SocketId s = net.create(42);
+  EXPECT_FALSE(net.send(s, Bytes{1}, 0).ok());
+  ASSERT_TRUE(net.connect(s, kRemoteIp, 4444).ok());
+  auto flow = net.send(s, Bytes{1, 2}, 777);
+  ASSERT_TRUE(flow.ok());
+  ASSERT_EQ(net.outbound().size(), 1u);
+  EXPECT_EQ(net.outbound()[0].owner_pid, 42u);
+  EXPECT_EQ(net.outbound()[0].instr_index, 777u);
+  EXPECT_EQ(net.outbound()[0].data, (Bytes{1, 2}));
+}
+
+TEST(NetStack, CloseAllForOwnerDropsSockets) {
+  NetStack net(kGuestIp);
+  SocketId a = net.create(1);
+  SocketId b = net.create(2);
+  net.close_all_for(1);
+  EXPECT_FALSE(net.socket_exists(a));
+  EXPECT_TRUE(net.socket_exists(b));
+  EXPECT_EQ(net.socket_owner(b).value_or(0), 2u);
+}
+
+}  // namespace
+}  // namespace faros::os

@@ -1,0 +1,132 @@
+// Robustness: hostile/garbage inputs must never crash the host — fuzz-ish
+// image parsing, random replay logs, and long-run shadow hygiene across
+// heavy process churn.
+#include <gtest/gtest.h>
+
+#include "attacks/datasets.h"
+#include "attacks/scenarios.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "os/machine.h"
+
+namespace faros {
+namespace {
+
+TEST(Robustness, RandomBlobsNeverCrashImageParsingOrSpawn) {
+  Rng rng(777);
+  os::Machine m;
+  ASSERT_TRUE(m.boot().ok());
+  int spawned_ok = 0;
+  for (int i = 0; i < 300; ++i) {
+    Bytes blob = rng.bytes(rng.below(512));
+    // Half the time, make it look almost valid (correct magic).
+    if (rng.chance(0.5) && blob.size() >= 8) {
+      blob[0] = 0x32;
+      blob[1] = 0x33;
+      blob[2] = 0x58;
+      blob[3] = 0x53;
+      blob[4] = 1;
+      blob[5] = 0;
+      blob[6] = 0;
+      blob[7] = 0;
+    }
+    std::string path = "C:/fuzz/" + std::to_string(i);
+    m.kernel().vfs().create(path, blob);
+    auto pid = m.kernel().spawn(path);
+    if (pid.ok()) ++spawned_ok;
+  }
+  // Random bytes essentially never form a valid image.
+  EXPECT_EQ(spawned_ok, 0);
+  EXPECT_EQ(m.kernel().live_count(), 0u);
+}
+
+TEST(Robustness, MutatedReplayLogsNeverCrashDeserialization) {
+  // Start from a real log, then flip random bytes.
+  attacks::ReflectiveDllScenario sc(attacks::ReflectiveVariant::kMeterpreter);
+  auto rec = attacks::record_run(sc);
+  ASSERT_TRUE(rec.ok());
+  Bytes wire = rec.value().log.serialize();
+  Rng rng(13);
+  for (int i = 0; i < 60; ++i) {
+    Bytes mutated = wire;
+    u32 flips = 1 + static_cast<u32>(rng.below(8));
+    for (u32 f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^= static_cast<u8>(rng.next_u32());
+    }
+    auto log = vm::ReplayLog::deserialize(mutated);  // ok or error, no crash
+    if (log.ok()) {
+      // A mutated-but-parseable log must still replay without crashing the
+      // machine (events may simply be dropped or misdelivered).
+      auto rep = attacks::replay_run(sc, log.value(), nullptr, {});
+      (void)rep;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, SequentialBatteryOnOneMachineKeepsShadowClean) {
+  // Run a dozen behaviour samples on ONE machine under ONE engine: frame
+  // recycling across process churn must keep stale taint from accumulating
+  // and must never produce a false positive.
+  os::Machine m;
+  core::FarosEngine engine(m.kernel(), core::Options{});
+  m.attach_cpu_plugin(&engine);
+  m.add_monitor(&engine);
+  ASSERT_TRUE(m.boot().ok());
+  m.kernel().vfs().create(
+      attacks::paths::kHelper,
+      attacks::build_helper_program().value().serialize());
+  m.kernel().vfs().create(attacks::paths::kSecretDoc, Bytes(32, 's'));
+  m.kernel().vfs().create(attacks::paths::kReportDoc, Bytes(32, 'r'));
+
+  auto samples = attacks::table4_families();
+  u64 shadow_after_first = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    const auto& spec = samples[i % samples.size()];
+    std::string name =
+        "churn" + std::to_string(i) + "-" + spec.family + ".exe";
+    auto img = attacks::build_behavior_program(name, spec.behaviors);
+    ASSERT_TRUE(img.ok());
+    std::string path = "C:/churn/" + name;
+    m.kernel().vfs().create(path, img.value().serialize());
+
+    // Feed devices and the C2 inline (no scripted source: push upfront).
+    for (attacks::Behavior b : spec.behaviors) {
+      u32 dev = 0;
+      u32 chunks = attacks::behavior_device_chunks(b, &dev);
+      for (u32 c = 0; c < chunks; ++c) {
+        m.inject_device(dev, Bytes(16, static_cast<u8>('a' + c)));
+      }
+    }
+    auto pid = m.kernel().spawn(path);
+    ASSERT_TRUE(pid.ok());
+    // Answer network requests as they appear.
+    class Responder : public os::EventSource {
+     public:
+      void poll(os::Machine& mm) override {
+        const auto& out = mm.kernel().net().outbound();
+        while (cursor_ < out.size()) {
+          const auto& pkt = out[cursor_++];
+          if (pkt.loopback) continue;
+          FlowTuple reply{pkt.flow.dst_ip, pkt.flow.dst_port,
+                          pkt.flow.src_ip, pkt.flow.src_port};
+          mm.inject_packet(reply, Bytes(64, 0x5a));
+        }
+      }
+      size_t cursor_ = 0;
+    };
+    static Responder responder;
+    m.set_event_source(&responder);
+    m.run(500000);
+    EXPECT_EQ(m.kernel().live_count(), 0u) << name;
+    if (i == 0) shadow_after_first = engine.shadow().tainted_bytes();
+  }
+  EXPECT_FALSE(engine.flagged()) << engine.report();
+  // Shadow residency stays bounded: dead processes' frames were scrubbed,
+  // so twelve runs cost at most a few times one run (file shadows persist
+  // by design), not twelve times.
+  EXPECT_LT(engine.shadow().tainted_bytes(), 6 * shadow_after_first + 4096);
+}
+
+}  // namespace
+}  // namespace faros

@@ -1,0 +1,213 @@
+// Property/differential tests for the VM:
+//  * random straight-line ALU programs vs host-computed reference values;
+//  * random MMU map/protect/unmap sequences vs a dictionary reference;
+//  * assembler/disassembler round-trip stability.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "vm/assembler.h"
+#include "vm/cpu.h"
+#include "vm/mmu.h"
+#include "vm/phys_mem.h"
+
+namespace faros::vm {
+namespace {
+
+TEST(VmProperty, RandomAluProgramsMatchHostArithmetic) {
+  Rng rng(99);
+  for (int iter = 0; iter < 30; ++iter) {
+    PhysMem mem(1u << 20);
+    FrameAllocator frames(mem.num_frames());
+    frames.reserve(0);
+    AddressSpace as = AddressSpace::create(mem, frames).value();
+    Interpreter interp(mem);
+    CpuState cpu;
+
+    u32 ref[8] = {};  // reference values of r1..r7 (index 1..7)
+    Assembler a;
+    // Seed registers with random constants.
+    for (u8 r = 1; r <= 7; ++r) {
+      u32 v = rng.next_u32();
+      a.movi(static_cast<Reg>(r), v);
+      ref[r] = v;
+    }
+    // Random ALU ops.
+    for (int i = 0; i < 60; ++i) {
+      u8 rd = static_cast<u8>(1 + rng.below(7));
+      u8 rs1 = static_cast<u8>(1 + rng.below(7));
+      u8 rs2 = static_cast<u8>(1 + rng.below(7));
+      u32 imm = rng.next_u32();
+      switch (rng.below(12)) {
+        case 0:
+          a.add(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] + ref[rs2];
+          break;
+        case 1:
+          a.sub(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] - ref[rs2];
+          break;
+        case 2:
+          a.mul(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] * ref[rs2];
+          break;
+        case 3:
+          a.and_(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                 static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] & ref[rs2];
+          break;
+        case 4:
+          a.or_(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] | ref[rs2];
+          break;
+        case 5:
+          a.xor_(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                 static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] ^ ref[rs2];
+          break;
+        case 6:
+          a.shl(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] << (ref[rs2] & 31);
+          break;
+        case 7:
+          a.shr(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                static_cast<Reg>(rs2));
+          ref[rd] = ref[rs1] >> (ref[rs2] & 31);
+          break;
+        case 8:
+          a.addi(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                 static_cast<i32>(imm));
+          ref[rd] = ref[rs1] + imm;
+          break;
+        case 9:
+          a.muli(static_cast<Reg>(rd), static_cast<Reg>(rs1),
+                 static_cast<i32>(imm));
+          ref[rd] = ref[rs1] * imm;
+          break;
+        case 10:
+          a.xori(static_cast<Reg>(rd), static_cast<Reg>(rs1), imm);
+          ref[rd] = ref[rs1] ^ imm;
+          break;
+        default:
+          a.shri(static_cast<Reg>(rd), static_cast<Reg>(rs1), imm);
+          ref[rd] = ref[rs1] >> (imm & 31);
+          break;
+      }
+    }
+    a.halt();
+
+    auto blob = a.assemble(0x1000);
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(as.map_alloc(0x1000,
+                             static_cast<u32>(blob.value().size()),
+                             kPteUser | kPteWrite | kPteExec)
+                    .ok());
+    ASSERT_TRUE(as.copy_in(0x1000, blob.value(), false).ok());
+    cpu.set_pc(0x1000);
+    auto info = interp.run(cpu, as, 1000);
+    ASSERT_EQ(info.result, StepResult::kHalt);
+    for (u8 r = 1; r <= 7; ++r) {
+      ASSERT_EQ(cpu.regs[r], ref[r]) << "iter " << iter << " r" << int(r);
+    }
+  }
+}
+
+TEST(VmProperty, RandomMmuOperationsMatchDictionaryReference) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 10; ++iter) {
+    PhysMem mem(4u << 20);
+    FrameAllocator frames(mem.num_frames());
+    frames.reserve(0);
+    AddressSpace as = AddressSpace::create(mem, frames).value();
+
+    std::map<VAddr, u32> ref;  // page -> flags
+    for (int op = 0; op < 200; ++op) {
+      VAddr page = static_cast<VAddr>(rng.below(64)) * kPageSize + 0x100000;
+      switch (rng.below(3)) {
+        case 0: {  // map
+          u32 flags = kPteUser | (rng.chance(0.5) ? u32{kPteWrite} : 0u) |
+                      (rng.chance(0.3) ? u32{kPteExec} : 0u);
+          if (ref.count(page)) break;  // map_alloc is idempotent; skip
+          ASSERT_TRUE(as.map_alloc(page, kPageSize, flags).ok());
+          ref[page] = flags;
+          break;
+        }
+        case 1: {  // unmap
+          if (!ref.count(page)) break;
+          ASSERT_TRUE(as.unmap_page(page, true).ok());
+          ref.erase(page);
+          break;
+        }
+        case 2: {  // protect
+          if (!ref.count(page)) break;
+          u32 flags = kPteUser | (rng.chance(0.5) ? u32{kPteWrite} : 0u);
+          ASSERT_TRUE(as.protect_range(page, kPageSize, flags).ok());
+          ref[page] = flags;
+          break;
+        }
+      }
+    }
+    // Verify every page agrees with the reference.
+    for (VAddr page = 0x100000; page < 0x100000 + 64 * kPageSize;
+         page += kPageSize) {
+      auto it = ref.find(page);
+      if (it == ref.end()) {
+        EXPECT_FALSE(as.is_mapped(page));
+        continue;
+      }
+      ASSERT_TRUE(as.is_mapped(page));
+      EXPECT_EQ(as.page_flags(page) & (kPteWrite | kPteExec | kPteUser),
+                it->second & (kPteWrite | kPteExec | kPteUser));
+      // Write access agrees with the W bit.
+      bool can_write =
+          as.translate(page, AccessType::kWrite, true).has_value();
+      EXPECT_EQ(can_write, (it->second & kPteWrite) != 0);
+    }
+    // No frame leaks: freeing everything restores the free count to
+    // (total - reserved - directory/tables).
+    u32 mapped = static_cast<u32>(ref.size());
+    EXPECT_LE(frames.total_frames() - frames.free_frames(),
+              mapped + 1 /*dir*/ + 64 /*tables upper bound*/);
+  }
+}
+
+TEST(VmProperty, DisassembleNeverCrashesOnRandomBytes) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes raw = rng.bytes(kInsnSize);
+    auto insn = decode(raw);
+    if (insn) {
+      std::string text = disassemble(*insn);
+      EXPECT_FALSE(text.empty());
+    }
+  }
+}
+
+TEST(VmProperty, EncodeIsInjectiveOnOperands) {
+  // Distinct (op, rd, rs1, rs2, imm) tuples encode to distinct bytes.
+  Rng rng(11);
+  std::map<Bytes, Instruction> seen;
+  for (int i = 0; i < 500; ++i) {
+    Instruction insn;
+    insn.op = Opcode::kAddi;
+    insn.rd = static_cast<u8>(rng.below(16));
+    insn.rs1 = static_cast<u8>(rng.below(16));
+    insn.rs2 = static_cast<u8>(rng.below(16));
+    insn.imm = rng.next_u32();
+    Bytes enc;
+    encode(insn, enc);
+    auto [it, inserted] = seen.emplace(enc, insn);
+    if (!inserted) {
+      EXPECT_EQ(it->second, insn);  // identical encoding => identical insn
+    }
+  }
+}
+
+}  // namespace
+}  // namespace faros::vm
