@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cuckoo_comparison.dir/bench/bench_cuckoo_comparison.cpp.o"
+  "CMakeFiles/bench_cuckoo_comparison.dir/bench/bench_cuckoo_comparison.cpp.o.d"
+  "bench/bench_cuckoo_comparison"
+  "bench/bench_cuckoo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cuckoo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

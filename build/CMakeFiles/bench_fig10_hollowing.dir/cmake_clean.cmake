@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hollowing.dir/bench/bench_fig10_hollowing.cpp.o"
+  "CMakeFiles/bench_fig10_hollowing.dir/bench/bench_fig10_hollowing.cpp.o.d"
+  "bench/bench_fig10_hollowing"
+  "bench/bench_fig10_hollowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hollowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_9_reflective.dir/bench/bench_fig7_9_reflective.cpp.o"
+  "CMakeFiles/bench_fig7_9_reflective.dir/bench/bench_fig7_9_reflective.cpp.o.d"
+  "bench/bench_fig7_9_reflective"
+  "bench/bench_fig7_9_reflective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_9_reflective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dift.dir/bench/bench_micro_dift.cpp.o"
+  "CMakeFiles/bench_micro_dift.dir/bench/bench_micro_dift.cpp.o.d"
+  "bench/bench_micro_dift"
+  "bench/bench_micro_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

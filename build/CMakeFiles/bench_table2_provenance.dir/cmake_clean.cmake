@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_provenance.dir/bench/bench_table2_provenance.cpp.o"
+  "CMakeFiles/bench_table2_provenance.dir/bench/bench_table2_provenance.cpp.o.d"
+  "bench/bench_table2_provenance"
+  "bench/bench_table2_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_jit_fp.dir/bench/bench_table3_jit_fp.cpp.o"
+  "CMakeFiles/bench_table3_jit_fp.dir/bench/bench_table3_jit_fp.cpp.o.d"
+  "bench/bench_table3_jit_fp"
+  "bench/bench_table3_jit_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_jit_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

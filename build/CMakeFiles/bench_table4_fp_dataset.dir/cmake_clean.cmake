@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fp_dataset.dir/bench/bench_table4_fp_dataset.cpp.o"
+  "CMakeFiles/bench_table4_fp_dataset.dir/bench/bench_table4_fp_dataset.cpp.o.d"
+  "bench/bench_table4_fp_dataset"
+  "bench/bench_table4_fp_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fp_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

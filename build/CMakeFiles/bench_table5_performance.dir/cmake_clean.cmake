@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_performance.dir/bench/bench_table5_performance.cpp.o"
+  "CMakeFiles/bench_table5_performance.dir/bench/bench_table5_performance.cpp.o.d"
+  "bench/bench_table5_performance"
+  "bench/bench_table5_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_sandbox.dir/faros_sandbox.cpp.o"
+  "CMakeFiles/faros_sandbox.dir/faros_sandbox.cpp.o.d"
+  "faros_sandbox"
+  "faros_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indirect_flows.dir/indirect_flows.cpp.o"
+  "CMakeFiles/indirect_flows.dir/indirect_flows.cpp.o.d"
+  "indirect_flows"
+  "indirect_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indirect_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

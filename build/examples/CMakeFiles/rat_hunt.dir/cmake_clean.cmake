@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rat_hunt.dir/rat_hunt.cpp.o"
+  "CMakeFiles/rat_hunt.dir/rat_hunt.cpp.o.d"
+  "rat_hunt"
+  "rat_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rat_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/c2.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/c2.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/c2.cpp.o.d"
+  "/root/repo/src/attacks/datasets.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/datasets.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/datasets.cpp.o.d"
+  "/root/repo/src/attacks/guest_common.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/guest_common.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/guest_common.cpp.o.d"
+  "/root/repo/src/attacks/payloads.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/payloads.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/payloads.cpp.o.d"
+  "/root/repo/src/attacks/programs.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/programs.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/programs.cpp.o.d"
+  "/root/repo/src/attacks/scenarios.cpp" "src/attacks/CMakeFiles/faros_attacks.dir/scenarios.cpp.o" "gcc" "src/attacks/CMakeFiles/faros_attacks.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/faros_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faros_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspection/CMakeFiles/faros_introspection.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/faros_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_attacks.dir/c2.cpp.o"
+  "CMakeFiles/faros_attacks.dir/c2.cpp.o.d"
+  "CMakeFiles/faros_attacks.dir/datasets.cpp.o"
+  "CMakeFiles/faros_attacks.dir/datasets.cpp.o.d"
+  "CMakeFiles/faros_attacks.dir/guest_common.cpp.o"
+  "CMakeFiles/faros_attacks.dir/guest_common.cpp.o.d"
+  "CMakeFiles/faros_attacks.dir/payloads.cpp.o"
+  "CMakeFiles/faros_attacks.dir/payloads.cpp.o.d"
+  "CMakeFiles/faros_attacks.dir/programs.cpp.o"
+  "CMakeFiles/faros_attacks.dir/programs.cpp.o.d"
+  "CMakeFiles/faros_attacks.dir/scenarios.cpp.o"
+  "CMakeFiles/faros_attacks.dir/scenarios.cpp.o.d"
+  "libfaros_attacks.a"
+  "libfaros_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cuckoo.cpp" "src/baselines/CMakeFiles/faros_baselines.dir/cuckoo.cpp.o" "gcc" "src/baselines/CMakeFiles/faros_baselines.dir/cuckoo.cpp.o.d"
+  "/root/repo/src/baselines/report.cpp" "src/baselines/CMakeFiles/faros_baselines.dir/report.cpp.o" "gcc" "src/baselines/CMakeFiles/faros_baselines.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/faros_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspection/CMakeFiles/faros_introspection.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/faros_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_baselines.dir/cuckoo.cpp.o"
+  "CMakeFiles/faros_baselines.dir/cuckoo.cpp.o.d"
+  "CMakeFiles/faros_baselines.dir/report.cpp.o"
+  "CMakeFiles/faros_baselines.dir/report.cpp.o.d"
+  "libfaros_baselines.a"
+  "libfaros_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_common.dir/log.cpp.o"
+  "CMakeFiles/faros_common.dir/log.cpp.o.d"
+  "CMakeFiles/faros_common.dir/strings.cpp.o"
+  "CMakeFiles/faros_common.dir/strings.cpp.o.d"
+  "libfaros_common.a"
+  "libfaros_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

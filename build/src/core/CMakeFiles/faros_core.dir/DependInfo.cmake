@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyst.cpp" "src/core/CMakeFiles/faros_core.dir/analyst.cpp.o" "gcc" "src/core/CMakeFiles/faros_core.dir/analyst.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/faros_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/faros_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/provenance.cpp" "src/core/CMakeFiles/faros_core.dir/provenance.cpp.o" "gcc" "src/core/CMakeFiles/faros_core.dir/provenance.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/faros_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/faros_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/tags.cpp" "src/core/CMakeFiles/faros_core.dir/tags.cpp.o" "gcc" "src/core/CMakeFiles/faros_core.dir/tags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/faros_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspection/CMakeFiles/faros_introspection.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/faros_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_core.dir/analyst.cpp.o"
+  "CMakeFiles/faros_core.dir/analyst.cpp.o.d"
+  "CMakeFiles/faros_core.dir/engine.cpp.o"
+  "CMakeFiles/faros_core.dir/engine.cpp.o.d"
+  "CMakeFiles/faros_core.dir/provenance.cpp.o"
+  "CMakeFiles/faros_core.dir/provenance.cpp.o.d"
+  "CMakeFiles/faros_core.dir/report.cpp.o"
+  "CMakeFiles/faros_core.dir/report.cpp.o.d"
+  "CMakeFiles/faros_core.dir/tags.cpp.o"
+  "CMakeFiles/faros_core.dir/tags.cpp.o.d"
+  "libfaros_core.a"
+  "libfaros_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_introspection.dir/monitor.cpp.o"
+  "CMakeFiles/faros_introspection.dir/monitor.cpp.o.d"
+  "libfaros_introspection.a"
+  "libfaros_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for faros_introspection.
+# This may be replaced when dependencies are built.

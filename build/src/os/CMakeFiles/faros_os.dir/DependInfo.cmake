@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/image.cpp" "src/os/CMakeFiles/faros_os.dir/image.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/image.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/faros_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/kernel_syscalls.cpp" "src/os/CMakeFiles/faros_os.dir/kernel_syscalls.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/kernel_syscalls.cpp.o.d"
+  "/root/repo/src/os/machine.cpp" "src/os/CMakeFiles/faros_os.dir/machine.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/machine.cpp.o.d"
+  "/root/repo/src/os/netstack.cpp" "src/os/CMakeFiles/faros_os.dir/netstack.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/netstack.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/os/CMakeFiles/faros_os.dir/process.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/process.cpp.o.d"
+  "/root/repo/src/os/runtime.cpp" "src/os/CMakeFiles/faros_os.dir/runtime.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/runtime.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/os/CMakeFiles/faros_os.dir/syscalls.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/syscalls.cpp.o.d"
+  "/root/repo/src/os/vfs.cpp" "src/os/CMakeFiles/faros_os.dir/vfs.cpp.o" "gcc" "src/os/CMakeFiles/faros_os.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/faros_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspection/CMakeFiles/faros_introspection.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

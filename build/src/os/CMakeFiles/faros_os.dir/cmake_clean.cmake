@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_os.dir/image.cpp.o"
+  "CMakeFiles/faros_os.dir/image.cpp.o.d"
+  "CMakeFiles/faros_os.dir/kernel.cpp.o"
+  "CMakeFiles/faros_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/faros_os.dir/kernel_syscalls.cpp.o"
+  "CMakeFiles/faros_os.dir/kernel_syscalls.cpp.o.d"
+  "CMakeFiles/faros_os.dir/machine.cpp.o"
+  "CMakeFiles/faros_os.dir/machine.cpp.o.d"
+  "CMakeFiles/faros_os.dir/netstack.cpp.o"
+  "CMakeFiles/faros_os.dir/netstack.cpp.o.d"
+  "CMakeFiles/faros_os.dir/process.cpp.o"
+  "CMakeFiles/faros_os.dir/process.cpp.o.d"
+  "CMakeFiles/faros_os.dir/runtime.cpp.o"
+  "CMakeFiles/faros_os.dir/runtime.cpp.o.d"
+  "CMakeFiles/faros_os.dir/syscalls.cpp.o"
+  "CMakeFiles/faros_os.dir/syscalls.cpp.o.d"
+  "CMakeFiles/faros_os.dir/vfs.cpp.o"
+  "CMakeFiles/faros_os.dir/vfs.cpp.o.d"
+  "libfaros_os.a"
+  "libfaros_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

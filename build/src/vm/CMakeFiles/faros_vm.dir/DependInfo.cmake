@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cpp" "src/vm/CMakeFiles/faros_vm.dir/assembler.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/assembler.cpp.o.d"
+  "/root/repo/src/vm/cpu.cpp" "src/vm/CMakeFiles/faros_vm.dir/cpu.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/cpu.cpp.o.d"
+  "/root/repo/src/vm/isa.cpp" "src/vm/CMakeFiles/faros_vm.dir/isa.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/isa.cpp.o.d"
+  "/root/repo/src/vm/mmu.cpp" "src/vm/CMakeFiles/faros_vm.dir/mmu.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/mmu.cpp.o.d"
+  "/root/repo/src/vm/phys_mem.cpp" "src/vm/CMakeFiles/faros_vm.dir/phys_mem.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/phys_mem.cpp.o.d"
+  "/root/repo/src/vm/replay.cpp" "src/vm/CMakeFiles/faros_vm.dir/replay.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/replay.cpp.o.d"
+  "/root/repo/src/vm/tracer.cpp" "src/vm/CMakeFiles/faros_vm.dir/tracer.cpp.o" "gcc" "src/vm/CMakeFiles/faros_vm.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

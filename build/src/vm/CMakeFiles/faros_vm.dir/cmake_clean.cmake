@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faros_vm.dir/assembler.cpp.o"
+  "CMakeFiles/faros_vm.dir/assembler.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/cpu.cpp.o"
+  "CMakeFiles/faros_vm.dir/cpu.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/isa.cpp.o"
+  "CMakeFiles/faros_vm.dir/isa.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/mmu.cpp.o"
+  "CMakeFiles/faros_vm.dir/mmu.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/phys_mem.cpp.o"
+  "CMakeFiles/faros_vm.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/replay.cpp.o"
+  "CMakeFiles/faros_vm.dir/replay.cpp.o.d"
+  "CMakeFiles/faros_vm.dir/tracer.cpp.o"
+  "CMakeFiles/faros_vm.dir/tracer.cpp.o.d"
+  "libfaros_vm.a"
+  "libfaros_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faros_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaros_vm.a"
+)

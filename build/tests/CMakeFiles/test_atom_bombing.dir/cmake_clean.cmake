@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atom_bombing.dir/test_atom_bombing.cpp.o"
+  "CMakeFiles/test_atom_bombing.dir/test_atom_bombing.cpp.o.d"
+  "test_atom_bombing"
+  "test_atom_bombing.pdb"
+  "test_atom_bombing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atom_bombing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_atom_bombing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attacks_builders.dir/test_attacks_builders.cpp.o"
+  "CMakeFiles/test_attacks_builders.dir/test_attacks_builders.cpp.o.d"
+  "test_attacks_builders"
+  "test_attacks_builders.pdb"
+  "test_attacks_builders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attacks_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

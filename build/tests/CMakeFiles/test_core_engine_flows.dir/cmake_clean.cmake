@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_engine_flows.dir/test_core_engine_flows.cpp.o"
+  "CMakeFiles/test_core_engine_flows.dir/test_core_engine_flows.cpp.o.d"
+  "test_core_engine_flows"
+  "test_core_engine_flows.pdb"
+  "test_core_engine_flows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_engine_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

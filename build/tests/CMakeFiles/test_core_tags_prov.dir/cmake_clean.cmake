@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tags_prov.dir/test_core_tags_prov.cpp.o"
+  "CMakeFiles/test_core_tags_prov.dir/test_core_tags_prov.cpp.o.d"
+  "test_core_tags_prov"
+  "test_core_tags_prov.pdb"
+  "test_core_tags_prov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tags_prov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

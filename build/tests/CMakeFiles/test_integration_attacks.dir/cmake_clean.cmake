@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_attacks.dir/test_integration_attacks.cpp.o"
+  "CMakeFiles/test_integration_attacks.dir/test_integration_attacks.cpp.o.d"
+  "test_integration_attacks"
+  "test_integration_attacks.pdb"
+  "test_integration_attacks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

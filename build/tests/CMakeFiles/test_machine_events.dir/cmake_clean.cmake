@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_events.dir/test_machine_events.cpp.o"
+  "CMakeFiles/test_machine_events.dir/test_machine_events.cpp.o.d"
+  "test_machine_events"
+  "test_machine_events.pdb"
+  "test_machine_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_extras.dir/test_os_extras.cpp.o"
+  "CMakeFiles/test_os_extras.dir/test_os_extras.cpp.o.d"
+  "test_os_extras"
+  "test_os_extras.pdb"
+  "test_os_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

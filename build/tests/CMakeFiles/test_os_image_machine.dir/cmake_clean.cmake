@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_image_machine.dir/test_os_image_machine.cpp.o"
+  "CMakeFiles/test_os_image_machine.dir/test_os_image_machine.cpp.o.d"
+  "test_os_image_machine"
+  "test_os_image_machine.pdb"
+  "test_os_image_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_image_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_os_kernel.cpp" "tests/CMakeFiles/test_os_kernel.dir/test_os_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_os_kernel.dir/test_os_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/faros_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/faros_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/faros_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/faros_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/faros_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/faros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/introspection/CMakeFiles/faros_introspection.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

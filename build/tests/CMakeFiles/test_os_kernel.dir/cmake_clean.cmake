@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_kernel.dir/test_os_kernel.cpp.o"
+  "CMakeFiles/test_os_kernel.dir/test_os_kernel.cpp.o.d"
+  "test_os_kernel"
+  "test_os_kernel.pdb"
+  "test_os_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_kernel_edge.dir/test_os_kernel_edge.cpp.o"
+  "CMakeFiles/test_os_kernel_edge.dir/test_os_kernel_edge.cpp.o.d"
+  "test_os_kernel_edge"
+  "test_os_kernel_edge.pdb"
+  "test_os_kernel_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_kernel_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_vfs_net.dir/test_os_vfs_net.cpp.o"
+  "CMakeFiles/test_os_vfs_net.dir/test_os_vfs_net.cpp.o.d"
+  "test_os_vfs_net"
+  "test_os_vfs_net.pdb"
+  "test_os_vfs_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_vfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

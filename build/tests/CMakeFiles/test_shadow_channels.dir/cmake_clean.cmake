@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_channels.dir/test_shadow_channels.cpp.o"
+  "CMakeFiles/test_shadow_channels.dir/test_shadow_channels.cpp.o.d"
+  "test_shadow_channels"
+  "test_shadow_channels.pdb"
+  "test_shadow_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

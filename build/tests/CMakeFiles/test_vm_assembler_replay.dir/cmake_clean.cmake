@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_assembler_replay.dir/test_vm_assembler_replay.cpp.o"
+  "CMakeFiles/test_vm_assembler_replay.dir/test_vm_assembler_replay.cpp.o.d"
+  "test_vm_assembler_replay"
+  "test_vm_assembler_replay.pdb"
+  "test_vm_assembler_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_assembler_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_cpu.dir/test_vm_cpu.cpp.o"
+  "CMakeFiles/test_vm_cpu.dir/test_vm_cpu.cpp.o.d"
+  "test_vm_cpu"
+  "test_vm_cpu.pdb"
+  "test_vm_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_isa.dir/test_vm_isa.cpp.o"
+  "CMakeFiles/test_vm_isa.dir/test_vm_isa.cpp.o.d"
+  "test_vm_isa"
+  "test_vm_isa.pdb"
+  "test_vm_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

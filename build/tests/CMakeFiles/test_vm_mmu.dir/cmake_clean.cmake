@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_mmu.dir/test_vm_mmu.cpp.o"
+  "CMakeFiles/test_vm_mmu.dir/test_vm_mmu.cpp.o.d"
+  "test_vm_mmu"
+  "test_vm_mmu.pdb"
+  "test_vm_mmu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

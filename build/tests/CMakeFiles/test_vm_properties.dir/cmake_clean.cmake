@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_properties.dir/test_vm_properties.cpp.o"
+  "CMakeFiles/test_vm_properties.dir/test_vm_properties.cpp.o.d"
+  "test_vm_properties"
+  "test_vm_properties.pdb"
+  "test_vm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_mmu[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_assembler_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_os_vfs_net[1]_include.cmake")
+include("/root/repo/build/tests/test_os_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_core_tags_prov[1]_include.cmake")
+include("/root/repo/build/tests/test_core_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_os_image_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks_builders[1]_include.cmake")
+include("/root/repo/build/tests/test_os_kernel_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_core_engine_flows[1]_include.cmake")
+include("/root/repo/build/tests/test_tooling[1]_include.cmake")
+include("/root/repo/build/tests/test_os_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_machine_events[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc_relay[1]_include.cmake")
+include("/root/repo/build/tests/test_atom_bombing[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_shadow_channels[1]_include.cmake")
