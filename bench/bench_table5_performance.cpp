@@ -98,6 +98,14 @@ int main() {
                 r.name.c_str(),
                 static_cast<unsigned long long>(r.instructions),
                 r.bare_s * 1e3, r.faros_s * 1e3, x, paper_slowdown[i]);
+    JsonWriter rec;
+    rec.field("app", r.name)
+        .field("guest_insns", r.instructions)
+        .field("bare_ms", r.bare_s * 1e3)
+        .field("faros_ms", r.faros_s * 1e3)
+        .field("overhead", x)
+        .field("paper_overhead", paper_slowdown[i]);
+    bench::json_record("table5_performance", rec);
     ++i;
   }
 

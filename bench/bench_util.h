@@ -5,10 +5,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "attacks/scenarios.h"
+#include "common/json.h"
 
 namespace faros::bench {
 
@@ -38,6 +40,30 @@ inline attacks::AnalyzedRun must_analyze(attacks::Scenario& sc,
     std::exit(1);
   }
   return std::move(run).take();
+}
+
+/// Machine-readable bench output: when FAROS_BENCH_JSON=<path> is set,
+/// every json_record() call appends one JSONL line to <path> (the human
+/// console output is unaffected). `fields` should already contain the
+/// metric fields; the bench name is prepended so one file can aggregate a
+/// whole bench sweep across binaries:
+///   {"bench":"table5_performance","app":"browser","overhead":12.3}
+inline void json_record(const std::string& bench_name,
+                        const JsonWriter& fields) {
+  static FILE* file = [] {
+    const char* path = std::getenv("FAROS_BENCH_JSON");
+    return path && *path ? std::fopen(path, "a") : nullptr;
+  }();
+  if (!file) return;
+  JsonWriter line;
+  line.field("bench", bench_name);
+  std::string body = fields.str();  // "{...}" — splice past the brace
+  std::string head = line.str();
+  head.pop_back();
+  if (body.size() > 2) head += "," + body.substr(1);
+  else head += "}";
+  std::fprintf(file, "%s\n", head.c_str());
+  std::fflush(file);
 }
 
 }  // namespace faros::bench

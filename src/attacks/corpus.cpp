@@ -1,0 +1,79 @@
+#include "attacks/corpus.h"
+
+#include "attacks/datasets.h"
+
+namespace faros::attacks {
+
+namespace {
+
+template <typename ScenarioT, typename... Args>
+CorpusEntry entry(std::string name, std::string category, bool expect_flagged,
+                  Args... args) {
+  CorpusEntry e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.expect_flagged = expect_flagged;
+  e.make = [args...]() -> std::unique_ptr<Scenario> {
+    return std::make_unique<ScenarioT>(args...);
+  };
+  return e;
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> injection_corpus() {
+  std::vector<CorpusEntry> out;
+  out.push_back(entry<ReflectiveDllScenario>(
+      "reflective_dll_inject", "injection", true,
+      ReflectiveVariant::kMeterpreter, false));
+  out.push_back(entry<ReflectiveDllScenario>(
+      "reverse_tcp_dns", "injection", true, ReflectiveVariant::kReverseTcpDns,
+      false));
+  out.push_back(entry<ReflectiveDllScenario>(
+      "bypassuac_injection", "injection", true, ReflectiveVariant::kBypassUac,
+      false));
+  out.push_back(
+      entry<HollowingScenario>("process_hollowing", "injection", true, false));
+  out.push_back(entry<RatInjectionScenario>("darkcomet-injection", "injection",
+                                            true, std::string("darkcomet")));
+  out.push_back(entry<RatInjectionScenario>("njrat-injection", "injection",
+                                            true, std::string("njrat")));
+  out.push_back(
+      entry<DropperChainScenario>("dropper_chain", "injection", true));
+  out.push_back(entry<IpcRelayScenario>("ipc_relay", "injection", true));
+  out.push_back(entry<AtomBombingScenario>("atom_bombing", "injection", true));
+  return out;
+}
+
+std::vector<CorpusEntry> jit_corpus() {
+  std::vector<CorpusEntry> out;
+  for (const auto& w : table3_workloads()) {
+    // The linking applets resolve helpers through export tables from
+    // network-derived code — the paper's two (whitelistable) FPs.
+    out.push_back(entry<JitScenario>(w.name, "jit", w.linking, w.name, w.host,
+                                     w.linking));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> behavior_corpus() {
+  std::vector<CorpusEntry> out;
+  for (const auto& s : table4_full_battery()) {
+    out.push_back(entry<BehaviorScenario>(s.name, "malware", false,
+                                          s.name + ".exe", s.behaviors));
+  }
+  for (const auto& s : table4_benign()) {
+    out.push_back(entry<BehaviorScenario>(s.name, "benign", false,
+                                          s.name + ".exe", s.behaviors));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> full_corpus() {
+  std::vector<CorpusEntry> out = injection_corpus();
+  for (auto& e : jit_corpus()) out.push_back(std::move(e));
+  for (auto& e : behavior_corpus()) out.push_back(std::move(e));
+  return out;
+}
+
+}  // namespace faros::attacks

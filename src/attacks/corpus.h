@@ -1,0 +1,43 @@
+// The triage corpus: every scenario in the repository, enumerated as named
+// job factories so the farm (src/farm) can fan the whole evaluation across
+// a worker pool. Each entry carries the ground-truth verdict (is FAROS
+// expected to flag it?) so triage output can be scored TP/FP/TN/FN against
+// the paper's tables:
+//  * injection  — the six Section-VI samples plus the three extension
+//                 attacks (dropper chain, IPC relay, atom bombing); all
+//                 expected flagged.
+//  * jit        — the 20 Table III workloads; the two runtime-linking
+//                 applets are the paper's known false positives.
+//  * malware    — the 90-sample non-injecting Table IV battery; clean.
+//  * benign     — the 14 benign Table IV applications; clean.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/scenarios.h"
+
+namespace faros::attacks {
+
+struct CorpusEntry {
+  std::string name;      // unique job name (scenario / sample name)
+  std::string category;  // "injection" | "jit" | "malware" | "benign"
+  bool expect_flagged = false;  // ground truth for triage scoring
+  std::function<std::unique_ptr<Scenario>()> make;
+};
+
+/// The nine in-memory injection attacks (paper's six + extensions).
+std::vector<CorpusEntry> injection_corpus();
+
+/// The 20 Table III JIT workloads (2 expected FPs: the linking applets).
+std::vector<CorpusEntry> jit_corpus();
+
+/// The Table IV battery: 90 non-injecting malware + 14 benign apps.
+std::vector<CorpusEntry> behavior_corpus();
+
+/// Everything above, in stable catalogue order.
+std::vector<CorpusEntry> full_corpus();
+
+}  // namespace faros::attacks

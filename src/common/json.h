@@ -1,0 +1,103 @@
+// Minimal flat-JSON emission. The farm's JSONL result stream and the bench
+// FAROS_BENCH_JSON mode both need deterministic, dependency-free JSON
+// output; this writer covers exactly that (flat objects, string/number/bool
+// fields, pre-rendered nested values via raw_field). Field order is the
+// call order, doubles print with %.6g — the same inputs always yield the
+// same bytes, which the farm's determinism tests rely on.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace faros {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Builds one flat JSON object, field by field.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value) {
+    begin(key);
+    body_ += '"';
+    body_ += json_escape(value);
+    body_ += '"';
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonWriter& field(std::string_view key, bool value) {
+    begin(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, u64 value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    begin(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, u32 value) {
+    return field(key, static_cast<u64>(value));
+  }
+  JsonWriter& field(std::string_view key, int value) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    begin(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    begin(key);
+    body_ += buf;
+    return *this;
+  }
+  /// Pre-rendered JSON value (arrays, nested objects).
+  JsonWriter& raw_field(std::string_view key, std::string_view json) {
+    begin(key);
+    body_ += json;
+    return *this;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void begin(std::string_view key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += json_escape(key);
+    body_ += "\":";
+  }
+  std::string body_;
+};
+
+}  // namespace faros

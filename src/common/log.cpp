@@ -1,32 +1,45 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace faros {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 void default_sink(LogLevel lvl, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", Log::level_name(lvl), msg.c_str());
+}
+
+// Guards g_sink: farm workers log concurrently, and a sink swap must not
+// race an in-flight write.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
 Log::Sink g_sink = default_sink;
 
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
+void Log::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 Log::Sink Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
   Sink prev = g_sink;
   g_sink = sink ? std::move(sink) : Sink(default_sink);
   return prev;
 }
 
 void Log::write(LogLevel lvl, const std::string& msg) {
-  if (lvl < g_level) return;
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
   g_sink(lvl, msg);
 }
 

@@ -10,8 +10,10 @@ namespace faros {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global logging configuration. Not thread-safe by design: the simulator is
-/// single-threaded (one host core drives the whole guest).
+/// Global logging configuration. Thread-safe: one guest machine is still
+/// driven by a single host thread, but the triage farm runs many machines
+/// on parallel workers, all funnelling diagnostics through this one logger
+/// (level is an atomic, the sink is mutex-serialised).
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

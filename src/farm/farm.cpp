@@ -1,0 +1,225 @@
+#include "farm/farm.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace faros::farm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-job watchdog: aborts the run on farm cancellation or when the
+/// wall-clock deadline passes. Polled between scheduling rounds (~quantum
+/// instructions), so a runaway guest is stopped within one round.
+class Watchdog final : public os::RunGovernor {
+ public:
+  Watchdog(const std::atomic<bool>& cancel, Clock::time_point deadline,
+           bool has_deadline)
+      : cancel_(cancel), deadline_(deadline), has_deadline_(has_deadline) {}
+
+  bool should_stop() override {
+    if (cancel_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+ private:
+  const std::atomic<bool>& cancel_;
+  Clock::time_point deadline_;
+  bool has_deadline_;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+Farm::Farm(FarmConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.workers == 0) {
+    cfg_.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void Farm::request_cancel() {
+  cancel_.store(true, std::memory_order_relaxed);
+  queue_.cancel();
+}
+
+JobResult Farm::run_once(const JobSpec& spec) const {
+  JobResult r;
+  r.id = spec.id;
+  r.name = spec.name;
+  r.category = spec.category;
+  r.expect_flagged = spec.expect_flagged;
+
+  auto fail = [&](std::string msg) {
+    r.status = JobStatus::kError;
+    r.error = std::move(msg);
+    return r;
+  };
+  auto stopped = [&] {
+    r.status = cancel_.load(std::memory_order_relaxed) ? JobStatus::kCancelled
+                                                       : JobStatus::kTimeout;
+    return r;
+  };
+
+  std::unique_ptr<attacks::Scenario> sc = spec.make ? spec.make() : nullptr;
+  if (!sc) return fail("job has no scenario factory");
+
+  u64 budget = spec.budget_override ? spec.budget_override : sc->budget();
+  u64 timeout_ms = spec.timeout_ms ? spec.timeout_ms : cfg_.timeout_ms;
+  Watchdog dog(cancel_,
+               Clock::now() + std::chrono::milliseconds(timeout_ms),
+               timeout_ms != 0);
+
+  // --- record (live run, no analysis plugins) ---
+  os::Machine rec(cfg_.machine);
+  if (auto b = rec.boot(); !b.ok()) return fail("boot: " + b.error().message);
+  auto source = sc->make_source();
+  if (source) rec.set_event_source(source.get());
+  if (auto s = sc->setup(rec); !s.ok())
+    return fail("setup: " + s.error().message);
+  os::RunStats rec_stats = rec.run(budget, &dog);
+  if (rec_stats.aborted) return stopped();
+  r.record_instructions = rec_stats.instructions;
+
+  // --- replay under the FAROS engine ---
+  os::Machine rep(cfg_.machine);
+  core::FarosEngine engine(rep.kernel(), cfg_.engine_opts);
+  rep.attach_cpu_plugin(&engine);
+  rep.add_monitor(&engine);
+  if (auto b = rep.boot(); !b.ok())
+    return fail("replay boot: " + b.error().message);
+  if (auto s = sc->setup(rep); !s.ok())
+    return fail("replay setup: " + s.error().message);
+  rep.load_replay(rec.recording());
+  os::RunStats rep_stats = rep.run(budget, &dog);
+  if (rep_stats.aborted) return stopped();
+
+  r.status = JobStatus::kOk;
+  r.replay_instructions = rep_stats.instructions;
+  r.all_exited = rep_stats.all_exited;
+  r.budget_exhausted = !rep_stats.all_exited && !rep_stats.deadlocked &&
+                       rep_stats.instructions >= budget;
+  r.flagged = engine.flagged();
+  r.findings = static_cast<u32>(engine.findings().size());
+  for (const auto& f : engine.findings()) {
+    if (f.whitelisted) ++r.suppressed;
+    r.policies.push_back(f.policy);
+  }
+  std::sort(r.policies.begin(), r.policies.end());
+  r.policies.erase(std::unique(r.policies.begin(), r.policies.end()),
+                   r.policies.end());
+  r.prov_lists = engine.store().size();
+  r.tainted_bytes = engine.shadow().tainted_bytes();
+  return r;
+}
+
+JobResult Farm::run_job(const JobSpec& spec) const {
+  auto t0 = Clock::now();
+  JobResult r = run_once(spec);
+  // One bounded retry per configured attempt, only for harness errors —
+  // timeouts would time out again and cancellations must stay cancelled.
+  for (u32 attempt = 0;
+       attempt < cfg_.retries && r.status == JobStatus::kError &&
+       !cancel_.load(std::memory_order_relaxed);
+       ++attempt) {
+    r = run_once(spec);
+    r.retries = attempt + 1;
+  }
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return r;
+}
+
+void Farm::deliver(JobResult r) {
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  reorder_.emplace(r.id, std::move(r));
+  while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
+    JobResult next = std::move(reorder_.begin()->second);
+    reorder_.erase(reorder_.begin());
+    if (cfg_.on_result) cfg_.on_result(next);
+    results_.push_back(std::move(next));
+    ++next_emit_;
+  }
+}
+
+void Farm::worker_main() {
+  while (auto spec = queue_.pop()) {
+    deliver(run_job(*spec));
+  }
+}
+
+TriageReport Farm::run(std::vector<JobSpec> jobs) {
+  {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    reorder_.clear();
+    results_.clear();
+    next_emit_ = 0;
+  }
+
+  auto t0 = Clock::now();
+  for (u32 i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i;
+    queue_.push(std::move(jobs[i]));
+  }
+  queue_.close();
+
+  u32 nworkers = std::min<u32>(cfg_.workers,
+                               std::max<size_t>(jobs.size(), 1));
+  std::vector<std::thread> pool;
+  pool.reserve(nworkers);
+  for (u32 i = 0; i < nworkers; ++i) {
+    pool.emplace_back([this] { worker_main(); });
+  }
+  for (auto& t : pool) t.join();
+
+  // Jobs never dispatched (cancellation) still get a result each.
+  for (auto& spec : queue_.drain()) {
+    JobResult r;
+    r.id = spec.id;
+    r.name = spec.name;
+    r.category = spec.category;
+    r.expect_flagged = spec.expect_flagged;
+    r.status = JobStatus::kCancelled;
+    deliver(std::move(r));
+  }
+
+  TriageReport report;
+  {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    report.results = std::move(results_);
+    results_.clear();
+  }
+
+  FarmMetrics& m = report.metrics;
+  m.jobs = static_cast<u32>(report.results.size());
+  m.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> latencies;
+  for (const auto& r : report.results) {
+    switch (r.status) {
+      case JobStatus::kOk:
+        ++m.ok;
+        r.flagged ? ++m.flagged : ++m.clean;
+        latencies.push_back(r.wall_ms);
+        break;
+      case JobStatus::kError: ++m.errors; break;
+      case JobStatus::kTimeout: ++m.timeouts; break;
+      case JobStatus::kCancelled: ++m.cancelled; break;
+    }
+    m.instructions += r.record_instructions + r.replay_instructions;
+  }
+  if (m.wall_s > 0) {
+    m.jobs_per_s = m.ok / m.wall_s;
+    m.insns_per_s = static_cast<double>(m.instructions) / m.wall_s;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  m.p50_ms = percentile(latencies, 0.50);
+  m.p95_ms = percentile(latencies, 0.95);
+  return report;
+}
+
+}  // namespace faros::farm

@@ -1,0 +1,108 @@
+// Farm — the concurrent corpus-triage service. Fans a catalogue of analysis
+// jobs (src/attacks/corpus.h) across N worker threads; each worker owns a
+// private os::Machine + FarosEngine per job, so workers share no mutable
+// state and sharding is safe (scenarios are deterministic and record/replay
+// is per-job).
+//
+// Determinism argument: a job's execution depends only on its JobSpec (the
+// scenario factory, budget and engine options) — never on which worker ran
+// it or what ran beside it. The per-job watchdog (os::RunGovernor) can only
+// *abort* a run, not perturb it, and aborted runs are reported as kTimeout
+// with their partial state discarded from the verdict. Results are
+// delivered to the callback in ascending job-id order via a reorder
+// buffer, so the JSONL stream is byte-identical for any worker count.
+//
+// Failure taxonomy per job: ok (clean or flagged), error (harness failure,
+// retried once on the assumption it is transient), timeout (wall-clock
+// deadline), cancelled (farm shut down first). A worker never dies with its
+// job: every failure is caught, boxed into the JobResult, and the worker
+// moves on — one pathological sample cannot poison the pool.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "farm/job.h"
+#include "farm/queue.h"
+
+namespace faros::farm {
+
+struct FarmConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  u32 workers = 0;
+  /// Default per-job wall-clock deadline (record + replay); 0 = no limit.
+  u64 timeout_ms = 60'000;
+  /// Retries for kError jobs (transient harness failures).
+  u32 retries = 1;
+  /// Engine options applied to every job's replay.
+  core::Options engine_opts;
+  /// Per-machine config for record and replay.
+  os::MachineConfig machine;
+  /// Called once per job in ascending job-id order (never concurrently).
+  std::function<void(const JobResult&)> on_result;
+};
+
+/// Farm-level metrics over one run(); timing fields are wall-clock.
+struct FarmMetrics {
+  u32 jobs = 0;
+  u32 ok = 0;
+  u32 flagged = 0;
+  u32 clean = 0;
+  u32 errors = 0;
+  u32 timeouts = 0;
+  u32 cancelled = 0;
+  u64 instructions = 0;  // record + replay, all jobs
+  double wall_s = 0;
+  double jobs_per_s = 0;
+  double insns_per_s = 0;
+  double p50_ms = 0;  // per-job latency percentiles (completed jobs)
+  double p95_ms = 0;
+};
+
+struct TriageReport {
+  std::vector<JobResult> results;  // ascending job id
+  FarmMetrics metrics;
+};
+
+class Farm {
+ public:
+  explicit Farm(FarmConfig cfg = {});
+
+  /// Runs every job to completion (or cancellation) and returns the
+  /// aggregated report. Blocking; call request_cancel() from another
+  /// thread to shut down early — the queue drains, in-flight jobs abort,
+  /// and every job still gets a (cancelled) result. One run() per Farm
+  /// instance (the queue is closed at the end of the run).
+  TriageReport run(std::vector<JobSpec> jobs);
+
+  /// Thread-safe; idempotent.
+  void request_cancel();
+
+  /// Runs a single job inline (no pool) — the farm's job runner is also
+  /// the canonical serial path, so "serial vs farmed" comparisons exercise
+  /// identical code.
+  JobResult run_job(const JobSpec& spec) const;
+
+  const FarmConfig& config() const { return cfg_; }
+
+ private:
+  void worker_main();
+  JobResult run_once(const JobSpec& spec) const;
+  void deliver(JobResult r);
+
+  FarmConfig cfg_;
+  JobQueue queue_;
+  std::atomic<bool> cancel_{false};
+
+  std::mutex emit_mu_;
+  std::map<u32, JobResult> reorder_;  // completed, waiting for in-order emit
+  u32 next_emit_ = 0;
+  std::vector<JobResult> results_;
+};
+
+}  // namespace faros::farm

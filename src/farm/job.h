@@ -1,0 +1,85 @@
+// Job model for the corpus-triage farm: a JobSpec names one scenario run
+// (via a factory, so retries and sharded workers each get a fresh
+// deterministic instance) and a JobResult captures everything the results
+// layer needs — verdict, findings, counters, and the failure taxonomy
+// (ok / error / timeout / cancelled).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/scenarios.h"
+#include "common/types.h"
+
+namespace faros::farm {
+
+using ScenarioFactory = std::function<std::unique_ptr<attacks::Scenario>()>;
+
+struct JobSpec {
+  u32 id = 0;            // assigned by the farm; the stable ordering key
+  std::string name;      // unique within one submission
+  std::string category;  // corpus category ("injection", "jit", ...)
+  ScenarioFactory make;
+  bool expect_flagged = false;  // ground truth, for TP/FP/TN/FN scoring
+
+  u64 budget_override = 0;  // 0 = use Scenario::budget()
+  u64 timeout_ms = 0;       // 0 = farm default
+};
+
+/// What terminated the job. `kOk` covers both clean and flagged runs —
+/// detection verdicts live in JobResult::flagged, not the status.
+enum class JobStatus {
+  kOk,         // record + replay completed within budget and deadline
+  kError,      // harness error (boot/setup/record failure), after retries
+  kTimeout,    // wall-clock deadline hit; partial run discarded
+  kCancelled,  // farm shut down before/while the job ran
+};
+
+const char* job_status_name(JobStatus s);
+
+struct JobResult {
+  // --- identity (copied from the spec) ---
+  u32 id = 0;
+  std::string name;
+  std::string category;
+  bool expect_flagged = false;
+
+  // --- verdict (deterministic given the spec) ---
+  JobStatus status = JobStatus::kCancelled;
+  bool flagged = false;
+  std::vector<std::string> policies;  // sorted unique policy names that fired
+  u32 findings = 0;                   // all findings, incl. whitelisted
+  u32 suppressed = 0;                 // whitelisted findings
+  u64 record_instructions = 0;
+  u64 replay_instructions = 0;
+  bool all_exited = false;       // every guest process terminated
+  bool budget_exhausted = false; // hit the instruction budget still running
+  size_t prov_lists = 0;
+  u64 tainted_bytes = 0;
+  u32 retries = 0;               // transient-error retries consumed
+  std::string error;             // message for kError
+
+  // --- timing (wall-clock; excluded from deterministic serialisation) ---
+  double wall_ms = 0;
+
+  /// "TP"/"FP"/"TN"/"FN" for completed jobs, "-" otherwise.
+  const char* verdict() const {
+    if (status != JobStatus::kOk) return "-";
+    if (flagged) return expect_flagged ? "TP" : "FP";
+    return expect_flagged ? "FN" : "TN";
+  }
+};
+
+inline const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kError: return "error";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace faros::farm

@@ -1,0 +1,79 @@
+// Thread-safe FIFO work queue for the farm. Producers push JobSpecs, then
+// close(); workers block in pop() until a job, close-on-empty, or cancel.
+// cancel() leaves undispatched jobs in place — the farm drains them after
+// the workers join and reports each as kCancelled, so every submitted job
+// yields exactly one JobResult no matter how the run ends.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "farm/job.h"
+
+namespace faros::farm {
+
+class JobQueue {
+ public:
+  void push(JobSpec spec) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(std::move(spec));
+    }
+    cv_.notify_one();
+  }
+
+  /// No more pushes; blocked pop() calls return nullopt once drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Stop dispatching: pop() returns nullopt immediately, remaining jobs
+  /// stay queued for drain().
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Next job, or nullopt when cancelled / closed-and-empty.
+  std::optional<JobSpec> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return cancelled_ || closed_ || !jobs_.empty(); });
+    if (cancelled_ || jobs_.empty()) return std::nullopt;
+    JobSpec spec = std::move(jobs_.front());
+    jobs_.pop_front();
+    return spec;
+  }
+
+  /// Removes and returns everything still queued (post-join cleanup).
+  std::vector<JobSpec> drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<JobSpec> out(std::make_move_iterator(jobs_.begin()),
+                             std::make_move_iterator(jobs_.end()));
+    jobs_.clear();
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<JobSpec> jobs_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace faros::farm

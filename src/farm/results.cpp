@@ -1,0 +1,89 @@
+#include "farm/results.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace faros::farm {
+
+namespace {
+
+std::string policies_json(const std::vector<std::string>& policies) {
+  std::string out = "[";
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(policies[i]);
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+std::string job_jsonl(const JobResult& r) {
+  JsonWriter w;
+  w.field("type", "job")
+      .field("id", r.id)
+      .field("name", r.name)
+      .field("category", r.category)
+      .field("status", job_status_name(r.status))
+      .field("flagged", r.flagged)
+      .field("expected", r.expect_flagged)
+      .field("verdict", r.verdict())
+      .field("findings", r.findings)
+      .field("suppressed", r.suppressed)
+      .raw_field("policies", policies_json(r.policies))
+      .field("record_insns", r.record_instructions)
+      .field("replay_insns", r.replay_instructions)
+      .field("all_exited", r.all_exited)
+      .field("budget_exhausted", r.budget_exhausted)
+      .field("prov_lists", static_cast<u64>(r.prov_lists))
+      .field("tainted_bytes", r.tainted_bytes)
+      .field("retries", r.retries)
+      .field("error", r.error);
+  return w.str();
+}
+
+std::string summary_jsonl(const FarmMetrics& m) {
+  JsonWriter w;
+  w.field("type", "summary")
+      .field("jobs", m.jobs)
+      .field("ok", m.ok)
+      .field("flagged", m.flagged)
+      .field("clean", m.clean)
+      .field("errors", m.errors)
+      .field("timeouts", m.timeouts)
+      .field("cancelled", m.cancelled)
+      .field("instructions", m.instructions)
+      .field("wall_s", m.wall_s)
+      .field("jobs_per_s", m.jobs_per_s)
+      .field("insns_per_s", m.insns_per_s)
+      .field("p50_ms", m.p50_ms)
+      .field("p95_ms", m.p95_ms);
+  return w.str();
+}
+
+std::string results_jsonl(const TriageReport& report) {
+  std::string out;
+  for (const auto& r : report.results) {
+    out += job_jsonl(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string summary_text(const FarmMetrics& m) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%u jobs in %.2fs: %u flagged, %u clean, %u errors, "
+                "%u timeouts, %u cancelled | %.1f jobs/s, %.2fM insns/s, "
+                "latency p50 %.1fms p95 %.1fms",
+                m.jobs, m.wall_s, m.flagged, m.clean, m.errors, m.timeouts,
+                m.cancelled, m.jobs_per_s, m.insns_per_s / 1e6, m.p50_ms,
+                m.p95_ms);
+  return buf;
+}
+
+}  // namespace faros::farm

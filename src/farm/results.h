@@ -1,0 +1,32 @@
+// Results layer for the farm: deterministic JSONL serialisation of per-job
+// records plus the run summary.
+//
+// The per-job record contains only fields that are a pure function of the
+// JobSpec (verdict, findings, instruction counts) — wall-clock timing is
+// deliberately excluded, so the concatenated job stream is byte-identical
+// across worker counts and machines. Timing and throughput live in the
+// summary record, which is explicitly nondeterministic.
+#pragma once
+
+#include <string>
+
+#include "farm/farm.h"
+
+namespace faros::farm {
+
+/// One JSONL line (no trailing newline) for a job: deterministic fields
+/// only. {"type":"job","id":...,"name":...,...}
+std::string job_jsonl(const JobResult& r);
+
+/// One JSONL line for the farm summary: counts + throughput + latency
+/// percentiles. {"type":"summary",...}
+std::string summary_jsonl(const FarmMetrics& m);
+
+/// Every job record, in stable job-id order, newline-terminated. This is
+/// the string the determinism tests compare across worker counts.
+std::string results_jsonl(const TriageReport& report);
+
+/// Human-readable one-line summary for consoles.
+std::string summary_text(const FarmMetrics& m);
+
+}  // namespace faros::farm

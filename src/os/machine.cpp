@@ -58,9 +58,13 @@ void Machine::pump_events() {
   }
 }
 
-RunStats Machine::run(u64 max_instructions) {
+RunStats Machine::run(u64 max_instructions, RunGovernor* gov) {
   RunStats stats;
   while (stats.instructions < max_instructions) {
+    if (gov && gov->should_stop()) {
+      stats.aborted = true;
+      return stats;
+    }
     pump_events();
     Process* p = kernel_.pick_next();
     if (!p) {

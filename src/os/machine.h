@@ -36,6 +36,18 @@ struct RunStats {
   u64 scheduling_rounds = 0;
   bool all_exited = false;   // every process terminated
   bool deadlocked = false;   // live processes but nothing runnable
+  bool aborted = false;      // a RunGovernor stopped the run early
+};
+
+/// External run supervisor (the farm's per-job watchdog). Polled between
+/// scheduling rounds; returning true aborts the run with stats.aborted set.
+/// The governor never alters the execution path up to the abort point, so a
+/// run that is not aborted retires the exact same instruction sequence as a
+/// run without a governor.
+class RunGovernor {
+ public:
+  virtual ~RunGovernor() = default;
+  virtual bool should_stop() = 0;
 };
 
 class Machine {
@@ -60,9 +72,9 @@ class Machine {
   /// Replay mode: feed a previously recorded log. Clears any EventSource.
   void load_replay(const vm::ReplayLog& log);
 
-  /// Runs until every process exits, nothing can make progress, or
-  /// `max_instructions` retire.
-  RunStats run(u64 max_instructions);
+  /// Runs until every process exits, nothing can make progress,
+  /// `max_instructions` retire, or `gov` (optional) requests a stop.
+  RunStats run(u64 max_instructions, RunGovernor* gov = nullptr);
 
   // --- injection API (EventSources call these; record mode logs them) ---
   /// Returns false if no guest socket accepted the packet (it is dropped

@@ -1,0 +1,303 @@
+// The corpus-triage farm: queue semantics, determinism across worker
+// counts, watchdog timeouts, error isolation/retry, ordered streaming, and
+// clean shutdown mid-queue. These tests are the ones the TSan CI job runs
+// — they deliberately exercise the concurrent paths hard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "attacks/corpus.h"
+#include "attacks/programs.h"
+#include "farm/farm.h"
+#include "farm/results.h"
+
+namespace faros {
+namespace {
+
+using farm::Farm;
+using farm::FarmConfig;
+using farm::JobResult;
+using farm::JobSpec;
+using farm::JobStatus;
+
+// A minimal fast job: one helper process that prints and exits (~hundreds
+// of instructions), so shutdown/ordering tests can queue many of them.
+class TinyScenario final : public attacks::Scenario {
+ public:
+  explicit TinyScenario(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  Result<void> setup(os::Machine& m) override {
+    auto img = attacks::build_helper_program();
+    if (!img.ok()) return Err<void>(img.error().message);
+    m.kernel().vfs().create("C:/tiny.exe", img.value().serialize());
+    auto pid = m.kernel().spawn("C:/tiny.exe");
+    if (!pid.ok()) return Err<void>(pid.error().message);
+    return Ok();
+  }
+  u64 budget() const override { return 50'000; }
+
+ private:
+  std::string name_;
+};
+
+// Never exits: an idle process spins until the budget or the watchdog.
+class SpinScenario final : public attacks::Scenario {
+ public:
+  std::string name() const override { return "spin_forever"; }
+  Result<void> setup(os::Machine& m) override {
+    auto img = attacks::build_idle_program("spin.exe");
+    if (!img.ok()) return Err<void>(img.error().message);
+    m.kernel().vfs().create("C:/spin.exe", img.value().serialize());
+    auto pid = m.kernel().spawn("C:/spin.exe");
+    if (!pid.ok()) return Err<void>(pid.error().message);
+    return Ok();
+  }
+};
+
+// Setup always fails: exercises the kError path and the bounded retry.
+class BrokenScenario final : public attacks::Scenario {
+ public:
+  std::string name() const override { return "broken"; }
+  Result<void> setup(os::Machine&) override {
+    return Err<void>("missing sample image");
+  }
+};
+
+JobSpec tiny_job(const std::string& name) {
+  JobSpec spec;
+  spec.name = name;
+  spec.category = "test";
+  spec.make = [name] { return std::make_unique<TinyScenario>(name); };
+  return spec;
+}
+
+std::vector<JobSpec> corpus_jobs(const std::vector<attacks::CorpusEntry>& es) {
+  std::vector<JobSpec> jobs;
+  for (const auto& e : es) {
+    JobSpec spec;
+    spec.name = e.name;
+    spec.category = e.category;
+    spec.expect_flagged = e.expect_flagged;
+    spec.make = e.make;
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+TEST(JobQueue, PopBlocksUntilPushAndCloseDrains) {
+  farm::JobQueue q;
+  q.push(tiny_job("a"));
+  q.push(tiny_job("b"));
+  q.close();
+  auto a = q.pop();
+  auto b = q.pop();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->name, "a");
+  EXPECT_EQ(b->name, "b");
+  EXPECT_FALSE(q.pop().has_value());  // closed + empty: no block
+}
+
+TEST(JobQueue, CancelWakesBlockedPopperAndPreservesJobs) {
+  farm::JobQueue q;
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.cancel();
+  popper.join();
+  EXPECT_TRUE(woke);
+  // A push after cancel is never dispatched, but stays for drain().
+  q.push(tiny_job("left-behind"));
+  auto left = q.drain();
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].name, "left-behind");
+}
+
+TEST(Farm, InjectionCorpusAllFlaggedAndScored) {
+  Farm f(FarmConfig{});
+  auto report = f.run(corpus_jobs(attacks::injection_corpus()));
+  ASSERT_EQ(report.results.size(), 9u);
+  for (const auto& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.name << ": " << r.error;
+    EXPECT_TRUE(r.flagged) << r.name;
+    EXPECT_STREQ(r.verdict(), "TP") << r.name;
+    EXPECT_FALSE(r.policies.empty()) << r.name;
+  }
+  EXPECT_EQ(report.metrics.flagged, 9u);
+  EXPECT_EQ(report.metrics.errors, 0u);
+  EXPECT_LE(report.metrics.p50_ms, report.metrics.p95_ms);
+}
+
+TEST(Farm, DeterministicAcrossWorkerCounts) {
+  // The whole point of the reorder buffer: the serialised result stream is
+  // byte-identical no matter how jobs interleave across workers.
+  auto jobs = corpus_jobs(attacks::injection_corpus());
+  for (auto& e : attacks::jit_corpus()) {
+    JobSpec spec;
+    spec.name = e.name;
+    spec.category = e.category;
+    spec.expect_flagged = e.expect_flagged;
+    spec.make = e.make;
+    jobs.push_back(std::move(spec));
+    if (jobs.size() >= 15) break;  // keep the test fast; mix of categories
+  }
+
+  FarmConfig serial_cfg;
+  serial_cfg.workers = 1;
+  Farm serial(serial_cfg);
+  std::string serial_out = farm::results_jsonl(serial.run(jobs));
+
+  FarmConfig wide_cfg;
+  wide_cfg.workers = 8;
+  Farm wide(wide_cfg);
+  std::string wide_out = farm::results_jsonl(wide.run(jobs));
+
+  EXPECT_EQ(serial_out, wide_out);
+  EXPECT_FALSE(serial_out.empty());
+}
+
+TEST(Farm, RunJobMatchesSerialAnalyze) {
+  // The farm's job runner must agree with the single-shot harness.
+  attacks::HollowingScenario hollow;
+  auto direct = attacks::analyze(hollow);
+  ASSERT_TRUE(direct.ok());
+
+  Farm f(FarmConfig{});
+  JobSpec spec;
+  spec.name = "process_hollowing";
+  spec.make = [] { return std::make_unique<attacks::HollowingScenario>(); };
+  JobResult r = f.run_job(spec);
+  ASSERT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_EQ(r.flagged, direct.value().flagged);
+  EXPECT_EQ(r.findings, direct.value().findings.size());
+  EXPECT_EQ(r.prov_lists, direct.value().prov_lists);
+  EXPECT_EQ(r.tainted_bytes, direct.value().tainted_bytes);
+}
+
+TEST(Farm, TimeoutReportedWithoutPoisoningPool) {
+  FarmConfig cfg;
+  cfg.workers = 2;
+  Farm f(cfg);
+
+  std::vector<JobSpec> jobs;
+  JobSpec runaway;
+  runaway.name = "runaway";
+  runaway.category = "test";
+  runaway.make = [] { return std::make_unique<SpinScenario>(); };
+  runaway.budget_override = 2'000'000'000;  // would run for minutes
+  runaway.timeout_ms = 100;
+  jobs.push_back(std::move(runaway));
+  for (int i = 0; i < 4; ++i) jobs.push_back(tiny_job("tiny" + std::to_string(i)));
+
+  auto report = f.run(jobs);
+  ASSERT_EQ(report.results.size(), 5u);
+  EXPECT_EQ(report.results[0].status, JobStatus::kTimeout);
+  EXPECT_EQ(report.results[0].retries, 0u);  // timeouts are not retried
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(report.results[i].status, JobStatus::kOk)
+        << report.results[i].name << ": " << report.results[i].error;
+  }
+  EXPECT_EQ(report.metrics.timeouts, 1u);
+  EXPECT_EQ(report.metrics.ok, 4u);
+}
+
+TEST(Farm, HarnessErrorRetriedOnceAndIsolated) {
+  FarmConfig cfg;
+  cfg.workers = 2;
+  cfg.retries = 1;
+  Farm f(cfg);
+
+  std::vector<JobSpec> jobs;
+  JobSpec broken;
+  broken.name = "broken";
+  broken.category = "test";
+  broken.make = [] { return std::make_unique<BrokenScenario>(); };
+  jobs.push_back(std::move(broken));
+  jobs.push_back(tiny_job("healthy"));
+
+  auto report = f.run(jobs);
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_EQ(report.results[0].status, JobStatus::kError);
+  EXPECT_EQ(report.results[0].retries, 1u);
+  EXPECT_NE(report.results[0].error.find("missing sample image"),
+            std::string::npos);
+  EXPECT_EQ(report.results[1].status, JobStatus::kOk);
+}
+
+TEST(Farm, ResultsStreamInStableIdOrder) {
+  FarmConfig cfg;
+  cfg.workers = 4;
+  std::vector<u32> seen;
+  cfg.on_result = [&](const JobResult& r) { seen.push_back(r.id); };
+  Farm f(cfg);
+
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 24; ++i) jobs.push_back(tiny_job("t" + std::to_string(i)));
+  auto report = f.run(jobs);
+
+  ASSERT_EQ(seen.size(), 24u);
+  for (u32 i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+  for (u32 i = 0; i < report.results.size(); ++i)
+    EXPECT_EQ(report.results[i].id, i);
+}
+
+TEST(Farm, CancelMidQueueDrainsCleanly) {
+  // Repetition matters here: shutdown races only show up across runs.
+  for (int round = 0; round < 5; ++round) {
+    FarmConfig cfg;
+    cfg.workers = 2;
+    Farm f(cfg);
+
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < 120; ++i)
+      jobs.push_back(tiny_job("j" + std::to_string(i)));
+
+    farm::TriageReport report;
+    std::thread runner([&] { report = f.run(jobs); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5 * round));
+    f.request_cancel();
+    runner.join();
+
+    // Every job accounted for exactly once, ids ascending, and each is
+    // either finished or cleanly cancelled — nothing lost, nothing hung.
+    ASSERT_EQ(report.results.size(), 120u);
+    for (u32 i = 0; i < report.results.size(); ++i) {
+      const JobResult& r = report.results[i];
+      EXPECT_EQ(r.id, i);
+      EXPECT_TRUE(r.status == JobStatus::kOk ||
+                  r.status == JobStatus::kCancelled)
+          << r.name << " -> " << farm::job_status_name(r.status);
+    }
+    EXPECT_EQ(report.metrics.ok + report.metrics.cancelled, 120u);
+  }
+}
+
+TEST(FarmResults, JsonlIsWellFormedAndEscaped) {
+  JobResult r;
+  r.id = 7;
+  r.name = "weird \"name\"\twith\nescapes";
+  r.category = "test";
+  r.status = JobStatus::kOk;
+  r.flagged = true;
+  r.policies = {"netflow->exec"};
+  std::string line = farm::job_jsonl(r);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\\\"name\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_NE(line.find("\"verdict\":\"FP\""), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one record, one line
+
+  farm::FarmMetrics m;
+  m.jobs = 3;
+  std::string s = farm::summary_jsonl(m);
+  EXPECT_NE(s.find("\"type\":\"summary\""), std::string::npos);
+  EXPECT_NE(s.find("\"jobs\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace faros

@@ -1,0 +1,162 @@
+// faros_triage — corpus triage CLI over the farm.
+//
+// Fans the scenario corpus (9 injection attacks, 20 JIT workloads, the
+// 104-sample Table IV battery) across a worker pool, streams one JSONL
+// record per job in stable job-id order, and prints a scored summary.
+//
+//   faros_triage                         # full corpus, hardware workers
+//   faros_triage --workers 4 --filter jit
+//   faros_triage --category injection --out results.jsonl
+//   faros_triage --list                  # print the catalogue and exit
+//
+// Exit code: 0 when every job completed (flagged or clean), 1 on harness
+// errors / timeouts / bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "attacks/corpus.h"
+#include "farm/farm.h"
+#include "farm/results.h"
+
+using namespace faros;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: faros_triage [options]\n"
+               "  --workers N      worker threads (default: hardware)\n"
+               "  --jobs N         run at most N jobs (default: all)\n"
+               "  --filter STR     only jobs whose name contains STR\n"
+               "  --category STR   only jobs in this category\n"
+               "                   (injection | jit | malware | benign)\n"
+               "  --timeout-ms N   per-job wall-clock deadline (default "
+               "60000; 0 = none)\n"
+               "  --budget N       per-job instruction budget override\n"
+               "  --out PATH       write JSONL records + summary to PATH\n"
+               "  --list           print the job catalogue and exit\n"
+               "  --quiet          no per-job console lines\n");
+}
+
+bool parse_u64(const char* s, u64* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (!end || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  farm::FarmConfig cfg;
+  std::string filter, category, out_path;
+  u64 max_jobs = 0, budget = 0, workers = 0;
+  bool list_only = false, quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](u64* out) {
+      if (i + 1 >= argc || !parse_u64(argv[++i], out)) {
+        std::fprintf(stderr, "faros_triage: %s needs a number\n", arg.c_str());
+        usage();
+        std::exit(1);
+      }
+    };
+    if (arg == "--workers") next(&workers);
+    else if (arg == "--jobs") next(&max_jobs);
+    else if (arg == "--timeout-ms") next(&cfg.timeout_ms);
+    else if (arg == "--budget") next(&budget);
+    else if (arg == "--filter" && i + 1 < argc) filter = argv[++i];
+    else if (arg == "--category" && i + 1 < argc) category = argv[++i];
+    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg == "--list") list_only = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
+    else {
+      std::fprintf(stderr, "faros_triage: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  cfg.workers = static_cast<u32>(workers);
+
+  std::vector<farm::JobSpec> jobs;
+  for (auto& e : attacks::full_corpus()) {
+    if (!filter.empty() && e.name.find(filter) == std::string::npos) continue;
+    if (!category.empty() && e.category != category) continue;
+    if (max_jobs && jobs.size() >= max_jobs) break;
+    farm::JobSpec spec;
+    spec.name = e.name;
+    spec.category = e.category;
+    spec.expect_flagged = e.expect_flagged;
+    spec.make = e.make;
+    spec.budget_override = budget;
+    jobs.push_back(std::move(spec));
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "faros_triage: no jobs match\n");
+    return 1;
+  }
+
+  if (list_only) {
+    std::printf("%-36s %-10s %s\n", "job", "category", "expected");
+    for (const auto& j : jobs) {
+      std::printf("%-36s %-10s %s\n", j.name.c_str(), j.category.c_str(),
+                  j.expect_flagged ? "flagged" : "clean");
+    }
+    std::printf("%zu jobs\n", jobs.size());
+    return 0;
+  }
+
+  FILE* out = nullptr;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+
+  // Stream each record the moment the reorder buffer releases it: the
+  // console and the JSONL file both see stable job-id order live.
+  const size_t total = jobs.size();  // jobs is moved into run() below
+  cfg.on_result = [&](const farm::JobResult& r) {
+    if (out) std::fprintf(out, "%s\n", farm::job_jsonl(r).c_str());
+    if (!quiet) {
+      std::printf("[%4u/%4zu] %-36s %-10s %-9s %-3s %s\n", r.id + 1,
+                  total, r.name.c_str(), r.category.c_str(),
+                  farm::job_status_name(r.status), r.verdict(),
+                  r.error.c_str());
+      std::fflush(stdout);
+    }
+  };
+
+  farm::Farm f(cfg);
+  farm::TriageReport report = f.run(std::move(jobs));
+
+  if (out) {
+    std::fprintf(out, "%s\n", farm::summary_jsonl(report.metrics).c_str());
+    std::fclose(out);
+  }
+
+  u32 tp = 0, fp = 0, tn = 0, fn = 0;
+  for (const auto& r : report.results) {
+    std::string v = r.verdict();
+    if (v == "TP") ++tp;
+    else if (v == "FP") ++fp;
+    else if (v == "TN") ++tn;
+    else if (v == "FN") ++fn;
+  }
+  std::printf("\n%s\n", farm::summary_text(report.metrics).c_str());
+  std::printf("scoring vs paper ground truth: %u TP, %u FP, %u TN, %u FN\n",
+              tp, fp, tn, fn);
+
+  bool clean_run = report.metrics.errors == 0 && report.metrics.timeouts == 0 &&
+                   report.metrics.cancelled == 0;
+  return clean_run ? 0 : 1;
+}
