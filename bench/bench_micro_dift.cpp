@@ -2,9 +2,24 @@
 // interned provenance-list operations, shadow-memory access, and the raw
 // interpreter with and without the taint plugin attached — the per-
 // instruction cost that Table V's macro numbers are made of.
+//
+// The interpreter runs measure the three regimes of the paged shadow
+// separately:
+//  * fully clean   — no taint anywhere; the engine cost is the untainted
+//                    fast path (one page-summary probe per fetch/access);
+//  * image-tainted — default options: every code page carries its backing
+//                    file's provenance, so each fetch exercises the
+//                    steady-state fetch-provenance cache;
+//  * tainted copy  — a guest loop streaming loads/stores over a netflow-
+//                    tainted buffer: the per-byte propagation path proper.
+//
+// With FAROS_BENCH_JSON=<path> set, main() appends one JSONL record per
+// regime (fixed-work wall-clock runs, independent of google-benchmark's
+// timing machinery) — the format committed in BENCH_shadow.json.
 #include <benchmark/benchmark.h>
 
 #include "attacks/guest_common.h"
+#include "bench_util.h"
 #include "core/engine.h"
 #include "os/machine.h"
 
@@ -44,6 +59,30 @@ void BM_ShadowMemorySetGet(benchmark::State& state) {
 }
 BENCHMARK(BM_ShadowMemorySetGet);
 
+/// The clean-probe cost the untainted fast path rides on: page-summary
+/// checks against a shadow with no taint anywhere.
+void BM_ShadowMemoryCleanProbe(benchmark::State& state) {
+  core::ShadowMemory shadow;
+  u64 addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.range_tainted(addr & 0xffffff, 8));
+    addr += 8;
+  }
+}
+BENCHMARK(BM_ShadowMemoryCleanProbe);
+
+/// Page-level clear: taint a full page, then drop it in one clear_range.
+void BM_ShadowMemoryPageClear(benchmark::State& state) {
+  core::ShadowMemory shadow;
+  for (auto _ : state) {
+    for (u32 i = 0; i < core::ShadowMemory::kPageBytes; i += 64) {
+      shadow.set(0x10000 + i, 1);
+    }
+    shadow.clear_range(0x10000, core::ShadowMemory::kPageBytes);
+  }
+}
+BENCHMARK(BM_ShadowMemoryPageClear);
+
 /// A compute-heavy guest workload for interpreter throughput.
 void setup_spinner(os::Machine& m) {
   os::ImageBuilder ib("spin.exe", os::kUserImageBase);
@@ -61,6 +100,67 @@ void setup_spinner(os::Machine& m) {
   (void)m.kernel().spawn("C:/spin.exe");
 }
 
+struct CopierInfo {
+  os::Pid pid = 0;
+  VAddr buf_va = 0;
+};
+
+/// A memory-heavy guest workload: stream 64 bytes buf -> dst forever.
+/// Returns the pid and the VA of "buf" so the harness can taint it.
+CopierInfo setup_copier(os::Machine& m) {
+  os::ImageBuilder ib("copy.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  a.movi_label(vm::R9, "buf");
+  a.movi_label(vm::R10, "dst");
+  a.label("loop");
+  for (int i = 0; i < 16; ++i) {
+    a.ld32(vm::R3, vm::R9, i * 4);
+    a.st32(vm::R10, i * 4, vm::R3);
+  }
+  a.jmp("loop");
+  a.align(8);
+  a.label("buf");
+  a.zeros(64);
+  a.label("dst");
+  a.zeros(64);
+  auto img = ib.build();
+  m.kernel().vfs().create("C:/copy.exe", img.value().serialize());
+  auto pid = m.kernel().spawn("C:/copy.exe");
+  if (!pid.ok()) {
+    std::fprintf(stderr, "FATAL: spawn copy.exe: %s\n",
+                 pid.error().message.c_str());
+    std::exit(1);
+  }
+  return {pid.value(),
+          os::kUserImageBase + ib.asm_().label_offset("buf").value()};
+}
+
+constexpr FlowTuple kBenchFlow{attacks::kAttackerIp, attacks::kAttackerPort,
+                               0xa9fe39a8, 49162};
+
+/// Taints the copier's source buffer with a netflow tag (the packet-delivery
+/// insertion point, bypassing the socket plumbing the bench doesn't need).
+void taint_copier_buf(os::Machine& m, core::FarosEngine& engine,
+                      const CopierInfo& info) {
+  os::Process* p = m.kernel().find(info.pid);
+  if (!p) {
+    std::fprintf(stderr, "FATAL: copier process not found\n");
+    std::exit(1);
+  }
+  osi::GuestXfer xfer{p->info(), &p->as, info.buf_va, 64};
+  engine.on_packet_to_guest(xfer, kBenchFlow);
+}
+
+core::Options clean_options() {
+  core::Options o;
+  // No mapped-image or file tainting: nothing in the system ever carries
+  // provenance, so every instruction takes the untainted fast path.
+  o.track_file = false;
+  o.taint_mapped_images = false;
+  return o;
+}
+
 void BM_InterpreterBare(benchmark::State& state) {
   os::Machine m;
   (void)m.boot();
@@ -72,6 +172,8 @@ void BM_InterpreterBare(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterBare)->Unit(benchmark::kMillisecond);
 
+/// Default options: code pages carry their image's file tag, so every
+/// fetch is from tainted memory (the Table V regime).
 void BM_InterpreterWithFaros(benchmark::State& state) {
   os::Machine m;
   core::FarosEngine engine(m.kernel(), core::Options{});
@@ -86,6 +188,95 @@ void BM_InterpreterWithFaros(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterWithFaros)->Unit(benchmark::kMillisecond);
 
+/// Nothing tainted anywhere: the pure untainted-fast-path tax.
+void BM_InterpreterFarosClean(benchmark::State& state) {
+  os::Machine m;
+  core::FarosEngine engine(m.kernel(), clean_options());
+  m.attach_cpu_plugin(&engine);
+  m.add_monitor(&engine);
+  (void)m.boot();
+  setup_spinner(m);
+  for (auto _ : state) {
+    m.run(100000);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InterpreterFarosClean)->Unit(benchmark::kMillisecond);
+
+/// Loads/stores streaming over a netflow-tainted buffer: the per-byte
+/// propagation path (merge/append memo hits, shadow writes).
+void BM_InterpreterFarosTaintedCopy(benchmark::State& state) {
+  os::Machine m;
+  core::FarosEngine engine(m.kernel(), core::Options{});
+  m.attach_cpu_plugin(&engine);
+  m.add_monitor(&engine);
+  (void)m.boot();
+  CopierInfo copier = setup_copier(m);
+  m.run(1000);  // map the image, schedule the copier
+  taint_copier_buf(m, engine, copier);
+  for (auto _ : state) {
+    m.run(100000);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_InterpreterFarosTaintedCopy)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Fixed-work JSONL summary (FAROS_BENCH_JSON), one record per regime.
+
+struct Regime {
+  const char* name;
+  bool attach_engine;
+  bool clean;
+  bool copier;
+};
+
+double run_regime(const Regime& r, u64 insns) {
+  os::Machine m;
+  core::FarosEngine engine(
+      m.kernel(), r.clean ? clean_options() : core::Options{});
+  if (r.attach_engine) {
+    m.attach_cpu_plugin(&engine);
+    m.add_monitor(&engine);
+  }
+  (void)m.boot();
+  if (r.copier) {
+    CopierInfo copier = setup_copier(m);
+    m.run(1000);
+    if (r.attach_engine) taint_copier_buf(m, engine, copier);
+  } else {
+    setup_spinner(m);
+  }
+  m.run(insns / 10);  // warm-up
+  return bench::time_s([&] { m.run(insns); });
+}
+
+void emit_json_summary() {
+  if (!std::getenv("FAROS_BENCH_JSON")) return;
+  constexpr u64 kInsns = 2000000;
+  const Regime regimes[] = {
+      {"interp_bare", false, false, false},
+      {"interp_faros_clean", true, true, false},
+      {"interp_faros_image_tainted", true, false, false},
+      {"interp_faros_tainted_copy", true, false, true},
+  };
+  for (const Regime& r : regimes) {
+    double s = run_regime(r, kInsns);
+    JsonWriter rec;
+    rec.field("case", r.name)
+        .field("insns", kInsns)
+        .field("ns_per_insn", s / static_cast<double>(kInsns) * 1e9)
+        .field("minsn_per_s", static_cast<double>(kInsns) / s / 1e6);
+    bench::json_record("micro_dift", rec);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  emit_json_summary();
+  return 0;
+}

@@ -26,15 +26,22 @@ void FarosEngine::add_policy(std::unique_ptr<FlagPolicy> policy) {
 }
 
 u16 FarosEngine::process_tag_index(PAddr cr3) {
-  auto it = ptag_cache_.find(cr3);
-  if (it != ptag_cache_.end()) return it->second;
+  if (last_ptag_valid_ && last_ptag_cr3_ == cr3) return last_ptag_;
   u16 idx;
-  if (auto info = osi_.process_by_cr3(cr3)) {
-    idx = maps_.process.intern(cr3, info->pid, info->name);
+  auto it = ptag_cache_.find(cr3);
+  if (it != ptag_cache_.end()) {
+    idx = it->second;
   } else {
-    idx = maps_.process.intern(cr3, 0, "<unknown>");
+    if (auto info = osi_.process_by_cr3(cr3)) {
+      idx = maps_.process.intern(cr3, info->pid, info->name);
+    } else {
+      idx = maps_.process.intern(cr3, 0, "<unknown>");
+    }
+    ptag_cache_[cr3] = idx;
   }
-  ptag_cache_[cr3] = idx;
+  last_ptag_cr3_ = cr3;
+  last_ptag_ = idx;
+  last_ptag_valid_ = true;
   return idx;
 }
 
@@ -57,13 +64,43 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
   // Instruction fetch is a memory access by this process: append its tag to
   // any tainted instruction bytes, and collect their provenance — the
   // "provenance list associated with this instruction" of Figures 7-10.
+  //
+  // Two fast paths replace the eight per-byte lookups in the common cases:
+  //  * untainted page: one page-summary probe (usually a single cached
+  //    compare) — the entire fetch-side cost on clean memory;
+  //  * tainted code page (every instruction of a mapped image, under
+  //    taint_mapped_images): the fetch result is a pure function of
+  //    (pc_pa, cr3, page bytes), so a direct-mapped cache validated by the
+  //    page's mutation stamp answers steady-state re-executions in O(1).
+  //    The first pass per site runs the loop (performing the one-time
+  //    process-tag writebacks) and then caches against the post-writeback
+  //    stamp, so a hit implies the loop would have no side effects.
   ProvListId fetch = kEmptyProv;
-  for (u32 i = 0; i < vm::kInsnSize; ++i) {
-    ProvListId id = shadow_.get(ev.pc_pa + i);
-    if (id != kEmptyProv) {
-      ProvListId id2 = with_process(id, ev.cr3, false);
-      if (id2 != id) shadow_.set(ev.pc_pa + i, id2);
-      fetch = store_.merge(fetch, id2);
+  if (shadow_.range_tainted(ev.pc_pa, vm::kInsnSize)) {
+    const bool cacheable =
+        (ev.pc_pa & ShadowMemory::kPageMask) + vm::kInsnSize <=
+        ShadowMemory::kPageBytes;
+    FetchCacheEntry& entry =
+        fetch_cache_[(ev.pc_pa / vm::kInsnSize) & kFetchCacheMask];
+    u64 version = cacheable ? shadow_.page_version(ev.pc_pa) : 0;
+    if (cacheable && entry.pc_pa == ev.pc_pa && entry.cr3 == ev.cr3 &&
+        entry.version == version && version != 0) {
+      fetch = entry.result;
+    } else {
+      for (u32 i = 0; i < vm::kInsnSize; ++i) {
+        ProvListId id = shadow_.get(ev.pc_pa + i);
+        if (id != kEmptyProv) {
+          ProvListId id2 = with_process(id, ev.cr3, false);
+          if (id2 != id) shadow_.set(ev.pc_pa + i, id2);
+          fetch = store_.merge(fetch, id2);
+        }
+      }
+      if (cacheable) {
+        entry.pc_pa = ev.pc_pa;
+        entry.cr3 = ev.cr3;
+        entry.version = shadow_.page_version(ev.pc_pa);  // post-writeback
+        entry.result = fetch;
+      }
     }
   }
   if (fetch != kEmptyProv) ++stats_.tainted_fetches;
@@ -82,15 +119,34 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
     sr.set_all(insn.rd, sr.reg_union(insn.rs1, store_));
   };
 
+  // A load/store whose bytes stay inside one page (page offsets survive
+  // translation, so checking the first byte's physical offset suffices) and
+  // whose page holds no taint can skip the per-byte translate/lookup loop:
+  // every shadow read would return empty and every shadow write of an empty
+  // id would be a no-op.
+  auto same_clean_page = [&](u32 size) {
+    return (ev.mem->pa & ShadowMemory::kPageMask) + size <=
+               ShadowMemory::kPageBytes &&
+           !shadow_.page_tainted(ev.mem->pa);
+  };
+
   auto handle_load = [&](u8 dst_reg, u8 base_reg) {
     ++stats_.loads;
     if (!ev.mem) return;
     const u32 size = ev.mem->size;
-    ProvListId target_union = kEmptyProv;
-    ProvListId byte_ids[4] = {};
     ProvListId addr_u = opts_.propagate_address_deps
                             ? sr.reg_union(base_reg, store_)
                             : kEmptyProv;
+    if (same_clean_page(size)) {
+      // Clean source: dst bytes carry only the (usually empty) address
+      // dependency; no target provenance means no policy to evaluate.
+      for (u32 i = 0; i < 4; ++i) {
+        sr.set(dst_reg, static_cast<u8>(i), i < size ? addr_u : kEmptyProv);
+      }
+      return;
+    }
+    ProvListId target_union = kEmptyProv;
+    ProvListId byte_ids[4] = {};
     for (u32 i = 0; i < size; ++i) {
       PAddr pa;
       if (i == 0) {
@@ -127,6 +183,12 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
     ProvListId addr_u = opts_.propagate_address_deps
                             ? sr.reg_union(base_reg, store_)
                             : kEmptyProv;
+    // Clean value into a clean page: nothing to write (an empty id is a
+    // no-op), nothing for the staging policy to flag (val would be empty).
+    if (addr_u == kEmptyProv && !sr.reg_tainted(src_reg) &&
+        same_clean_page(size)) {
+      return;
+    }
     // Early-warning policy: network-derived bytes being written into an
     // executable page (payload staging) — optional, see Options.
     if (opts_.policy_tainted_code_write) {
@@ -295,14 +357,22 @@ void for_each_byte(const osi::GuestXfer& xfer, Fn&& fn) {
 
 void FarosEngine::on_process_start(const osi::ProcessInfo& p) {
   ptag_cache_[p.cr3] = maps_.process.intern(p.cr3, p.pid, p.name);
+  if (last_ptag_cr3_ == p.cr3) last_ptag_valid_ = false;
 }
 
 void FarosEngine::on_process_exit(const osi::ProcessInfo& p, u32 exit_code) {
   (void)exit_code;
+  if (sregs_cached_ && sregs_cr3_ == p.cr3) sregs_cached_ = nullptr;
   regs_.erase(p.cr3);
-  // CR3 values can be recycled by later processes; drop the cache binding
+  // CR3 values can be recycled by later processes; drop the cache bindings
   // (ProcessMap keeps the historical entry for report rendering).
   ptag_cache_.erase(p.cr3);
+  if (last_ptag_cr3_ == p.cr3) last_ptag_valid_ = false;
+  // A later process may reuse this CR3: drop its fetch-provenance entries
+  // so the recycled identity never inherits the old process's results.
+  for (FetchCacheEntry& e : fetch_cache_) {
+    if (e.cr3 == p.cr3) e = FetchCacheEntry{};
+  }
 }
 
 void FarosEngine::on_module_loaded(const osi::ModuleInfo& mod,

@@ -147,7 +147,18 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
  private:
   u16 process_tag_index(PAddr cr3);
   ProvTag process_tag(PAddr cr3) { return ProvTag::process(process_tag_index(cr3)); }
-  ShadowRegisters& sregs(PAddr cr3) { return regs_[cr3]; }
+
+  /// Register-shadow bank for a CR3, with a one-entry cache so the common
+  /// run of instructions from one process skips the hash lookup. regs_ is
+  /// node-based, so the cached pointer stays valid across inserts; process
+  /// exit invalidates it explicitly.
+  ShadowRegisters& sregs(PAddr cr3) {
+    if (sregs_cached_ && sregs_cr3_ == cr3) return *sregs_cached_;
+    ShadowRegisters& r = regs_[cr3];
+    sregs_cr3_ = cr3;
+    sregs_cached_ = &r;
+    return r;
+  }
 
   /// Appends the process tag to a (tainted) list when process tracking is
   /// on; returns the list unchanged otherwise.
@@ -166,7 +177,27 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   SegmentShadow segment_shadow_;
   SegmentShadow atom_shadow_;  // keyed by atom id
   std::unordered_map<PAddr, ShadowRegisters> regs_;  // keyed by CR3
+  PAddr sregs_cr3_ = 0;                     // sregs() one-entry cache
+  ShadowRegisters* sregs_cached_ = nullptr;
   std::unordered_map<PAddr, u16> ptag_cache_;
+  PAddr last_ptag_cr3_ = 0;  // one-entry front for ptag_cache_
+  u16 last_ptag_ = 0;
+  bool last_ptag_valid_ = false;
+
+  /// Direct-mapped memo for the fetch-provenance of a (pc_pa, cr3) site,
+  /// valid while the containing shadow page's mutation stamp is unchanged.
+  /// Steady-state execution from tainted code pages (mapped images) hits
+  /// here instead of walking the eight instruction bytes.
+  struct FetchCacheEntry {
+    PAddr pc_pa = ~0ull;
+    PAddr cr3 = 0;
+    u64 version = 0;
+    ProvListId result = kEmptyProv;
+  };
+  static constexpr u32 kFetchCacheSize = 4096;  // power of two
+  static constexpr u32 kFetchCacheMask = kFetchCacheSize - 1;
+  std::vector<FetchCacheEntry> fetch_cache_ =
+      std::vector<FetchCacheEntry>(kFetchCacheSize);
   std::vector<std::unique_ptr<FlagPolicy>> policies_;
   std::vector<Finding> findings_;
   std::set<u64> flagged_sites_;  // (insn va, policy index) dedup

@@ -59,11 +59,7 @@ const std::vector<ProvTag>& ProvStore::get(ProvListId id) const {
   return lists_[id - 1];
 }
 
-ProvListId ProvStore::append(ProvListId id, ProvTag tag) {
-  u64 key = (static_cast<u64>(id) << 32) | tag.key();
-  auto it = append_cache_.find(key);
-  if (it != append_cache_.end()) return it->second;
-
+ProvListId ProvStore::append_slow(ProvListId id, ProvTag tag, u64 memo_key) {
   const auto& base = get(id);
   ProvListId result = id;
   if (std::find(base.begin(), base.end(), tag) == base.end()) {
@@ -75,17 +71,11 @@ ProvListId ProvStore::append(ProvListId id, ProvTag tag) {
       result = intern_unique(std::move(tags), /*fallback=*/id);
     }
   }
-  append_cache_[key] = result;
+  append_cache_.insert(memo_key, result);
   return result;
 }
 
-ProvListId ProvStore::merge(ProvListId a, ProvListId b) {
-  if (a == b || b == kEmptyProv) return a;
-  if (a == kEmptyProv) return b;
-  u64 key = (static_cast<u64>(a) << 32) | b;
-  auto it = merge_cache_.find(key);
-  if (it != merge_cache_.end()) return it->second;
-
+ProvListId ProvStore::merge_slow(ProvListId a, ProvListId b, u64 memo_key) {
   std::vector<ProvTag> tags = get(a);
   for (const ProvTag& t : get(b)) {
     if (tags.size() >= cap_) break;
@@ -94,7 +84,7 @@ ProvListId ProvStore::merge(ProvListId a, ProvListId b) {
     }
   }
   ProvListId result = intern_unique(std::move(tags), /*fallback=*/a);
-  merge_cache_[key] = result;
+  merge_cache_.insert(memo_key, result);
   return result;
 }
 

@@ -20,6 +20,80 @@ namespace faros::core {
 using ProvListId = u32;
 inline constexpr ProvListId kEmptyProv = 0;
 
+/// Open-addressed, linear-probe memo table (u64 key -> ProvListId) for the
+/// merge/append hot paths. Compared to std::unordered_map this is one flat
+/// allocation, probes are sequential in memory, and a hit is typically one
+/// mix + one compare. Key 0 is the empty-slot sentinel; both memo key
+/// encodings below are nonzero by construction (merge keys carry a nonzero
+/// id in each half; append keys carry a ProvTag::key(), whose type byte is
+/// >= 1). A key of 0 is simply not cached.
+class MemoCache {
+ public:
+  MemoCache() : slots_(kInitialSlots) {}
+
+  /// Pointer to the memoized value for `key`, or nullptr when absent.
+  const ProvListId* find(u64 key) const {
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.val;
+      if (s.key == 0) return nullptr;
+    }
+  }
+
+  void insert(u64 key, ProvListId val) {
+    if (key == 0) return;  // sentinel collision: skip memoization
+    if ((used_ + 1) * 10 >= slots_.size() * 7) grow();  // keep load < 0.7
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == key) {
+        s.val = val;
+        return;
+      }
+      if (s.key == 0) {
+        s.key = key;
+        s.val = val;
+        ++used_;
+        return;
+      }
+    }
+  }
+
+  size_t size() const { return used_; }
+
+ private:
+  static constexpr size_t kInitialSlots = 1u << 10;  // power of two
+
+  struct Slot {
+    u64 key = 0;
+    ProvListId val = kEmptyProv;
+  };
+
+  /// splitmix64 finalizer: spreads the structured (id<<32)|x keys so the
+  /// low bits used for slot selection are well mixed.
+  static u64 mix(u64 x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.key == 0) continue;
+      size_t i = mix(s.key) & mask;
+      while (slots_[i].key != 0) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+};
+
 class ProvStore {
  public:
   /// `cap` bounds list length; tags beyond the cap are dropped (keeping the
@@ -37,12 +111,24 @@ class ProvStore {
   /// The tags of a list, chronological. id 0 yields the empty list.
   const std::vector<ProvTag>& get(ProvListId id) const;
 
-  /// List `id` with `tag` appended (no-op when already present). Memoized.
-  ProvListId append(ProvListId id, ProvTag tag);
+  /// List `id` with `tag` appended (no-op when already present). Memoized;
+  /// the empty-operand early-outs and memo probe are inline — the common
+  /// case never leaves the header.
+  ProvListId append(ProvListId id, ProvTag tag) {
+    u64 key = (static_cast<u64>(id) << 32) | tag.key();
+    if (const ProvListId* hit = append_cache_.find(key)) return *hit;
+    return append_slow(id, tag, key);
+  }
 
   /// Union preserving order: all of `a`, then tags of `b` not in `a`
-  /// (Table I's union rule). Memoized.
-  ProvListId merge(ProvListId a, ProvListId b);
+  /// (Table I's union rule). Memoized, inline fast path as for append().
+  ProvListId merge(ProvListId a, ProvListId b) {
+    if (a == b || b == kEmptyProv) return a;
+    if (a == kEmptyProv) return b;
+    u64 key = (static_cast<u64>(a) << 32) | b;
+    if (const ProvListId* hit = merge_cache_.find(key)) return *hit;
+    return merge_slow(a, b, key);
+  }
 
   /// True if the list holds at least one tag of type `t`. O(1).
   bool contains_type(ProvListId id, TagType t) const;
@@ -68,6 +154,9 @@ class ProvStore {
     u8 process_count = 0;   // distinct process tags, saturating
   };
 
+  ProvListId append_slow(ProvListId id, ProvTag tag, u64 memo_key);
+  ProvListId merge_slow(ProvListId a, ProvListId b, u64 memo_key);
+
   /// Interns a de-duplicated tag sequence. `fallback` is returned when the
   /// store is saturated and the sequence is new.
   ProvListId intern_unique(std::vector<ProvTag> tags,
@@ -80,8 +169,8 @@ class ProvStore {
   std::vector<std::vector<ProvTag>> lists_;  // index = id - 1
   std::vector<Meta> metas_;
   std::unordered_map<u64, std::vector<ProvListId>> by_hash_;
-  std::unordered_map<u64, ProvListId> append_cache_;
-  std::unordered_map<u64, ProvListId> merge_cache_;
+  MemoCache append_cache_;
+  MemoCache merge_cache_;
 };
 
 }  // namespace faros::core

@@ -5,6 +5,8 @@
 // Process 3).
 #pragma once
 
+#include <array>
+#include <memory>
 #include <unordered_map>
 
 #include "core/provenance.h"
@@ -12,40 +14,191 @@
 
 namespace faros::core {
 
-/// Sparse provenance map over guest physical memory. Only tainted bytes
-/// occupy an entry; storing kEmptyProv erases.
+/// Provenance map over guest physical memory, laid out as a two-level,
+/// lazily-allocated paged shadow (the software analogue of the dedicated
+/// shadow structures hardware-DIFT designs use for cheap "no taint here"
+/// checks):
+///
+///   directory:  frame number (pa >> 12)  ->  ShadowPage*
+///   page:       flat ProvListId[4096] + a tainted-byte count
+///
+/// Pages exist only while they hold at least one tainted byte, so the
+/// overwhelmingly common case — an access to memory nothing ever tainted —
+/// resolves to a single directory probe (and usually just a one-entry
+/// frame-cache compare). The per-page count makes "is this page clean?"
+/// O(1), which the engine exploits to skip per-byte work entirely on
+/// instruction fetch and on loads/stores that stay inside a clean page,
+/// and it lets clear_range()/frame recycling drop whole pages instead of
+/// erasing byte by byte.
 class ShadowMemory {
  public:
+  static constexpr u32 kPageShift = 12;
+  static constexpr u32 kPageBytes = 1u << kPageShift;  // == vm::kPageSize
+  static constexpr u32 kPageMask = kPageBytes - 1;
+
+  struct Page {
+    std::array<ProvListId, kPageBytes> prov{};
+    u32 tainted = 0;  // nonzero entries in prov
+    /// Stamp of the last mutation, drawn from a store-wide monotonic
+    /// epoch. Epochs are never reused (a recreated page gets a fresh,
+    /// larger stamp), so "same version" safely means "bytes unchanged" —
+    /// the invariant the engine's fetch-provenance cache relies on.
+    u64 version = 0;
+  };
+
+  /// Hot-path read (cache-accelerated). A const overload below serves
+  /// concurrent analyst readers without touching the frame cache.
+  ProvListId get(PAddr pa) {
+    Page* p = lookup(pa >> kPageShift);
+    return p ? p->prov[pa & kPageMask] : kEmptyProv;
+  }
+
   ProvListId get(PAddr pa) const {
-    auto it = map_.find(pa);
-    return it == map_.end() ? kEmptyProv : it->second;
+    auto it = dir_.find(pa >> kPageShift);
+    return it == dir_.end() ? kEmptyProv
+                            : it->second->prov[pa & kPageMask];
   }
 
   void set(PAddr pa, ProvListId id) {
-    if (id == kEmptyProv) {
-      map_.erase(pa);
-    } else {
-      map_[pa] = id;
+    Page* p = lookup(pa >> kPageShift);
+    if (!p) {
+      if (id == kEmptyProv) return;  // clearing an untracked byte: no-op
+      p = add_page(pa >> kPageShift);
     }
+    ProvListId& slot = p->prov[pa & kPageMask];
+    if (slot == id) return;  // no semantic change: skip the version bump
+    if (slot == kEmptyProv) {
+      ++p->tainted;
+      ++total_tainted_;
+    } else if (id == kEmptyProv) {
+      --p->tainted;
+      --total_tainted_;
+    }
+    slot = id;
+    p->version = ++epoch_;
+  }
+
+  /// O(1): does the page containing `pa` hold any tainted byte?
+  bool page_tainted(PAddr pa) {
+    Page* p = lookup(pa >> kPageShift);
+    return p && p->tainted != 0;
+  }
+
+  /// Mutation stamp of the page containing `pa` (0 when no page exists).
+  /// Two equal nonzero stamps guarantee the page bytes are unchanged.
+  u64 page_version(PAddr pa) {
+    Page* p = lookup(pa >> kPageShift);
+    return p ? p->version : 0;
+  }
+
+  /// Any tainted byte in [pa, pa+len)? Assumes the range is physically
+  /// contiguous (instruction fetch); O(pages overlapped), i.e. one or two
+  /// probes for an 8-byte fetch.
+  bool range_tainted(PAddr pa, u64 len) {
+    if (len == 0 || total_tainted_ == 0) return false;
+    u64 f0 = pa >> kPageShift;
+    u64 f1 = (pa + len - 1) >> kPageShift;
+    for (u64 f = f0; f <= f1; ++f) {
+      Page* p = lookup(f);
+      if (p && p->tainted != 0) return true;
+    }
+    return false;
   }
 
   void clear_range(PAddr pa, u64 len) {
-    // Erase per byte; ranges are page sized at most in practice.
-    for (u64 i = 0; i < len; ++i) map_.erase(pa + i);
+    if (len == 0 || total_tainted_ == 0) return;
+    PAddr end = pa + len;
+    u64 f0 = pa >> kPageShift;
+    u64 f1 = (end - 1) >> kPageShift;
+    for (u64 f = f0; f <= f1; ++f) {
+      auto it = dir_.find(f);
+      if (it == dir_.end()) continue;
+      u32 lo = f == f0 ? static_cast<u32>(pa & kPageMask) : 0;
+      u32 hi = f == f1 ? static_cast<u32>((end - 1) & kPageMask) + 1
+                       : kPageBytes;
+      Page& p = *it->second;
+      if (lo == 0 && hi == kPageBytes) {
+        total_tainted_ -= p.tainted;  // page-level drop, no per-byte walk
+      } else {
+        bool changed = false;
+        for (u32 o = lo; o < hi && p.tainted != 0; ++o) {
+          ProvListId& slot = p.prov[o];
+          if (slot != kEmptyProv) {
+            slot = kEmptyProv;
+            --p.tainted;
+            --total_tainted_;
+            changed = true;
+          }
+        }
+        if (p.tainted != 0) {
+          if (changed) p.version = ++epoch_;
+          continue;
+        }
+      }
+      if (cache_key_ == f + 1) cache_page_ = nullptr;
+      dir_.erase(it);
+    }
   }
 
-  void clear() { map_.clear(); }
+  void clear() {
+    dir_.clear();
+    total_tainted_ = 0;
+    cache_key_ = 0;
+    cache_page_ = nullptr;
+  }
 
   /// Number of tainted bytes (the overtainting metric of the ablation
-  /// bench).
-  u64 tainted_bytes() const { return map_.size(); }
+  /// bench). O(1): maintained incrementally.
+  u64 tainted_bytes() const { return total_tainted_; }
 
-  const std::unordered_map<PAddr, ProvListId>& entries() const {
-    return map_;
+  /// Number of shadow pages currently allocated (residency metric).
+  u64 pages() const { return dir_.size(); }
+
+  /// Calls fn(PAddr, ProvListId) for every tainted byte. Page order is
+  /// unspecified (directory order); offsets within a page are ascending.
+  template <typename Fn>
+  void for_each_tainted(Fn&& fn) const {
+    for (const auto& [frame, page] : dir_) {
+      PAddr base = static_cast<PAddr>(frame) << kPageShift;
+      u32 remaining = page->tainted;
+      for (u32 o = 0; o < kPageBytes && remaining != 0; ++o) {
+        ProvListId id = page->prov[o];
+        if (id != kEmptyProv) {
+          fn(base + o, id);
+          --remaining;
+        }
+      }
+    }
   }
 
  private:
-  std::unordered_map<PAddr, ProvListId> map_;
+  /// Directory probe through a one-entry frame cache. Caching "no page"
+  /// (nullptr) is deliberate: a clean-memory workload then resolves every
+  /// fetch/load/store probe to a single integer compare. cache_key_ holds
+  /// frame+1 so 0 means "empty cache".
+  Page* lookup(u64 frame) {
+    if (cache_key_ == frame + 1) return cache_page_;
+    auto it = dir_.find(frame);
+    Page* p = it == dir_.end() ? nullptr : it->second.get();
+    cache_key_ = frame + 1;
+    cache_page_ = p;
+    return p;
+  }
+
+  Page* add_page(u64 frame) {
+    auto& slot = dir_[frame];
+    slot = std::make_unique<Page>();
+    if (cache_key_ == frame + 1) cache_page_ = slot.get();
+    return slot.get();
+  }
+
+  // unique_ptr values keep Page* stable across directory rehash, so the
+  // frame cache survives inserts of other frames.
+  std::unordered_map<u64, std::unique_ptr<Page>> dir_;
+  u64 total_tainted_ = 0;
+  u64 epoch_ = 0;  // monotonic mutation counter; never reset (no ABA)
+  u64 cache_key_ = 0;  // frame+1 of the cached probe; 0 = invalid
+  Page* cache_page_ = nullptr;
 };
 
 /// Byte-granular register shadow for one CPU context (one process).
@@ -64,16 +217,16 @@ class ShadowRegisters {
 
   /// Union of all four byte lists of a register (for ALU operand taint).
   ProvListId reg_union(u8 reg, ProvStore& store) const {
-    ProvListId acc = kEmptyProv;
-    for (ProvListId id : regs_[reg]) acc = store.merge(acc, id);
+    const ProvListId* b = regs_[reg];
+    if ((b[0] | b[1] | b[2] | b[3]) == kEmptyProv) return kEmptyProv;
+    ProvListId acc = b[0];
+    for (int i = 1; i < 4; ++i) acc = store.merge(acc, b[i]);
     return acc;
   }
 
   bool reg_tainted(u8 reg) const {
-    for (ProvListId id : regs_[reg]) {
-      if (id != kEmptyProv) return true;
-    }
-    return false;
+    const ProvListId* b = regs_[reg];
+    return (b[0] | b[1] | b[2] | b[3]) != kEmptyProv;
   }
 
  private:

@@ -337,9 +337,9 @@ TEST(EngineFlows, ProvListCapBoundsChainLength) {
   env.machine->run(30000);
 
   // Every provenance list in the system respects the cap.
-  for (const auto& [pa, id] : env.engine->shadow().entries()) {
+  env.engine->shadow().for_each_tainted([&](PAddr, ProvListId id) {
     EXPECT_LE(env.engine->store().get(id).size(), 3u);
-  }
+  });
   // And the dst bytes are still tainted (origin kept, tail dropped).
   ProvListId id = env.engine->prov_at(p->as, src_va + 8 /* dst follows */);
   ASSERT_NE(id, kEmptyProv);
