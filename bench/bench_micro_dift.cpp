@@ -229,12 +229,19 @@ struct Regime {
   bool attach_engine;
   bool clean;
   bool copier;
+  bool metrics = true;  // Options::collect_metrics for this run
 };
 
-double run_regime(const Regime& r, u64 insns) {
+struct RegimeRun {
+  double seconds = 0;
+  obs::MetricSnapshot metrics;  // collected=false for bare / _noobs runs
+};
+
+RegimeRun run_regime(const Regime& r, u64 insns) {
   os::Machine m;
-  core::FarosEngine engine(
-      m.kernel(), r.clean ? clean_options() : core::Options{});
+  core::Options opts = r.clean ? clean_options() : core::Options{};
+  opts.collect_metrics = r.metrics;
+  core::FarosEngine engine(m.kernel(), opts);
   if (r.attach_engine) {
     m.attach_cpu_plugin(&engine);
     m.add_monitor(&engine);
@@ -248,25 +255,53 @@ double run_regime(const Regime& r, u64 insns) {
     setup_spinner(m);
   }
   m.run(insns / 10);  // warm-up
-  return bench::time_s([&] { m.run(insns); });
+  RegimeRun out;
+  out.seconds = bench::time_s([&] { m.run(insns); });
+  if (r.attach_engine) out.metrics = engine.metrics_snapshot();
+  return out;
+}
+
+double rate(u64 hit, u64 miss) {
+  u64 total = hit + miss;
+  return total ? static_cast<double>(hit) / static_cast<double>(total) : 0;
 }
 
 void emit_json_summary() {
   if (!std::getenv("FAROS_BENCH_JSON")) return;
   constexpr u64 kInsns = 2000000;
+  // The _noobs pair isolates the observability tax: identical workloads
+  // with collect_metrics off, so every counter handle is null.
   const Regime regimes[] = {
       {"interp_bare", false, false, false},
       {"interp_faros_clean", true, true, false},
       {"interp_faros_image_tainted", true, false, false},
       {"interp_faros_tainted_copy", true, false, true},
+      {"interp_faros_clean_noobs", true, true, false, /*metrics=*/false},
+      {"interp_faros_image_tainted_noobs", true, false, false,
+       /*metrics=*/false},
   };
   for (const Regime& r : regimes) {
-    double s = run_regime(r, kInsns);
+    RegimeRun run = run_regime(r, kInsns);
+    const double s = run.seconds;
     JsonWriter rec;
     rec.field("case", r.name)
         .field("insns", kInsns)
         .field("ns_per_insn", s / static_cast<double>(kInsns) * 1e9)
         .field("minsn_per_s", static_cast<double>(kInsns) / s / 1e6);
+    if (run.metrics.collected) {
+      const obs::MetricSnapshot& m = run.metrics;
+      using obs::Ctr;
+      rec.field("fetch_cache_hit_rate",
+                rate(m[Ctr::kFetchCacheHit], m[Ctr::kFetchCacheMiss]))
+          .field("shadow_frame_cache_hit_rate",
+                 rate(m[Ctr::kShadowFrameCacheHit],
+                      m[Ctr::kShadowFrameCacheMiss]))
+          .field("merge_memo_hit_rate",
+                 rate(m[Ctr::kMergeMemoHit], m[Ctr::kMergeMemoMiss]))
+          .field("append_memo_hit_rate",
+                 rate(m[Ctr::kAppendMemoHit], m[Ctr::kAppendMemoMiss]));
+      obs::append_counter_fields(rec, m);
+    }
     bench::json_record("micro_dift", rec);
   }
 }

@@ -21,12 +21,19 @@ struct AppResult {
   double bare_s = 0;
   double faros_s = 0;
   u64 instructions = 0;
+  obs::MetricSnapshot metrics;  // replay counters (deterministic, so the
+                                // last timed run's snapshot represents all)
 };
 
 double median3(double a, double b, double c) {
   double v[3] = {a, b, c};
   std::sort(v, v + 3);
   return v[1];
+}
+
+double rate(u64 hit, u64 miss) {
+  u64 total = hit + miss;
+  return total ? static_cast<double>(hit) / static_cast<double>(total) : 0;
 }
 
 AppResult measure(const attacks::SampleSpec& spec) {
@@ -53,6 +60,7 @@ AppResult measure(const attacks::SampleSpec& spec) {
     m.load_replay(log);
     return bench::time_s([&] { m.run(sc.budget()); });
   };
+  obs::MetricSnapshot last_metrics;
   auto with_faros = [&]() {
     os::Machine m;
     core::FarosEngine engine(m.kernel(), core::Options{});
@@ -61,7 +69,9 @@ AppResult measure(const attacks::SampleSpec& spec) {
     if (!m.boot().ok()) std::exit(1);
     if (!sc.setup(m).ok()) std::exit(1);
     m.load_replay(log);
-    return bench::time_s([&] { m.run(sc.budget()); });
+    double s = bench::time_s([&] { m.run(sc.budget()); });
+    last_metrics = engine.metrics_snapshot();
+    return s;
   };
 
   AppResult out;
@@ -72,6 +82,7 @@ AppResult measure(const attacks::SampleSpec& spec) {
   out.bare_s = median3(bare(), bare(), bare());
   with_faros();
   out.faros_s = median3(with_faros(), with_faros(), with_faros());
+  out.metrics = last_metrics;
   return out;
 }
 
@@ -107,6 +118,17 @@ int main() {
         .field("faros_ms", r.faros_s * 1e3)
         .field("overhead", x)
         .field("paper_overhead", paper_slowdown[i]);
+    if (r.metrics.collected) {
+      const obs::MetricSnapshot& m = r.metrics;
+      using obs::Ctr;
+      rec.field("fetch_cache_hit_rate",
+                rate(m[Ctr::kFetchCacheHit], m[Ctr::kFetchCacheMiss]))
+          .field("merge_memo_hit_rate",
+                 rate(m[Ctr::kMergeMemoHit], m[Ctr::kMergeMemoMiss]))
+          .field("shadow_page_allocs", m[Ctr::kShadowPageAlloc])
+          .field("tainted_fetches", m[Ctr::kTaintedFetches])
+          .field("taint_src_events", m[Ctr::kTaintSrcEvents]);
+    }
     bench::json_record("table5_performance", rec);
     ++i;
   }

@@ -12,6 +12,22 @@ FarosEngine::FarosEngine(const os::OsiQuery& osi, Options opts)
     : osi_(osi),
       opts_(opts),
       store_(opts.prov_list_cap, opts.prov_store_max_lists) {
+  if (opts_.collect_metrics) {
+    metrics_ = std::make_unique<obs::MetricSink>();
+    shadow_.bind_obs(metrics_.get());
+    store_.bind_obs(metrics_.get());
+    obs::MetricSink* s = metrics_.get();
+    fetch_hit_ = {s, obs::Ctr::kFetchCacheHit};
+    fetch_miss_ = {s, obs::Ctr::kFetchCacheMiss};
+    tainted_load_ = {s, obs::Ctr::kTaintedLoads};
+    tainted_store_ = {s, obs::Ctr::kTaintedStores};
+    taint_src_events_ = {s, obs::Ctr::kTaintSrcEvents};
+    netflow_src_bytes_ = {s, obs::Ctr::kNetflowSrcBytes};
+    file_read_src_bytes_ = {s, obs::Ctr::kFileReadSrcBytes};
+    file_write_src_bytes_ = {s, obs::Ctr::kFileWriteSrcBytes};
+    image_map_src_bytes_ = {s, obs::Ctr::kImageMapSrcBytes};
+    export_tag_bytes_ = {s, obs::Ctr::kExportTagBytes};
+  }
   if (opts_.policy_netflow_export) {
     policies_.push_back(std::make_unique<NetflowExportConfluencePolicy>());
   }
@@ -86,7 +102,9 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
     if (cacheable && entry.pc_pa == ev.pc_pa && entry.cr3 == ev.cr3 &&
         entry.version == version && version != 0) {
       fetch = entry.result;
+      fetch_hit_.inc();
     } else {
+      fetch_miss_.inc();
       for (u32 i = 0; i < vm::kInsnSize; ++i) {
         ProvListId id = shadow_.get(ev.pc_pa + i);
         if (id != kEmptyProv) {
@@ -169,6 +187,7 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
       sr.set(dst_reg, static_cast<u8>(i), i < size ? byte_ids[i] : kEmptyProv);
     }
     if (target_union != kEmptyProv) {
+      tainted_load_.inc();
       if (store_.contains_type(target_union, TagType::kExportTable)) {
         ++stats_.export_table_reads;
       }
@@ -188,6 +207,9 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
     if (addr_u == kEmptyProv && !sr.reg_tainted(src_reg) &&
         same_clean_page(size)) {
       return;
+    }
+    if (addr_u != kEmptyProv || sr.reg_tainted(src_reg)) {
+      tainted_store_.inc();
     }
     // Early-warning policy: network-derived bytes being written into an
     // executable page (payload staging) — optional, see Options.
@@ -378,6 +400,8 @@ void FarosEngine::on_process_exit(const osi::ProcessInfo& p, u32 exit_code) {
 void FarosEngine::on_module_loaded(const osi::ModuleInfo& mod,
                                    const vm::AddressSpace& kernel_as) {
   if (!opts_.track_export) return;
+  taint_src_events_.inc();
+  export_tag_bytes_.inc(static_cast<u64>(mod.export_count) * 4);
   // Taint the function-pointer field of every export entry: layout is
   // [count][hash u32, addr u32]*count; the addr bytes get the tag.
   ProvListId id = store_.intern({ProvTag::export_table()});
@@ -393,6 +417,8 @@ void FarosEngine::on_module_loaded(const osi::ModuleInfo& mod,
 void FarosEngine::on_packet_to_guest(const osi::GuestXfer& xfer,
                                      const FlowTuple& flow,
                                      const osi::PacketMeta& meta) {
+  taint_src_events_.inc();
+  netflow_src_bytes_.inc(xfer.len);
   ProvListId fresh = kEmptyProv;
   ProvTag nf_tag = ProvTag::netflow(0);
   if (opts_.track_netflow) {
@@ -439,6 +465,8 @@ void FarosEngine::on_guest_send(const osi::GuestXfer& xfer,
 void FarosEngine::on_file_read(const osi::GuestXfer& xfer, u32 file_id,
                                const std::string& path, u32 version,
                                u32 file_offset) {
+  taint_src_events_.inc();
+  file_read_src_bytes_.inc(xfer.len);
   ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
   for_each_byte(xfer, [&](u32 i, PAddr pa) {
     ProvListId id = file_shadow_.get(file_id, file_offset + i);
@@ -451,6 +479,8 @@ void FarosEngine::on_file_read(const osi::GuestXfer& xfer, u32 file_id,
 void FarosEngine::on_file_write(const osi::GuestXfer& xfer, u32 file_id,
                                 const std::string& path, u32 version,
                                 u32 file_offset) {
+  taint_src_events_.inc();
+  file_write_src_bytes_.inc(xfer.len);
   ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
   for_each_byte(xfer, [&](u32 i, PAddr pa) {
     ProvListId id = shadow_.get(pa);
@@ -473,6 +503,8 @@ void FarosEngine::on_image_mapped(const osi::ProcessInfo& proc,
                                   u32 len, u32 file_id,
                                   const std::string& path, u32 version) {
   if (!opts_.track_file || !opts_.taint_mapped_images) return;
+  taint_src_events_.inc();
+  image_map_src_bytes_.inc(len);
   ProvTag ftag = ProvTag::file(maps_.file.intern(file_id, version, path));
   ProvListId plain = store_.intern({ftag});
   plain = with_process(plain, proc.cr3, true);
@@ -496,6 +528,8 @@ void FarosEngine::on_iat_resolved(const osi::ProcessInfo& proc,
                                   const vm::AddressSpace& as, VAddr slot_va) {
   (void)proc;
   if (!opts_.track_export) return;
+  taint_src_events_.inc();
+  export_tag_bytes_.inc(4);
   // The slot's value is derived from export-table data: append the export
   // tag on top of whatever provenance the slot bytes already carry (e.g.
   // the image's file tag), so IAT-scanning payloads hit the confluence too.
@@ -579,6 +613,20 @@ std::string FarosEngine::report() const {
 ProvListId FarosEngine::prov_at(const vm::AddressSpace& as, VAddr va) const {
   auto pa = as.translate(va, AccessType::kRead, false);
   return pa ? shadow_.get(*pa) : kEmptyProv;
+}
+
+obs::MetricSnapshot FarosEngine::metrics_snapshot() const {
+  if (!metrics_) return {};
+  obs::MetricSnapshot s = metrics_->snapshot();
+  auto put = [&s](obs::Ctr c, u64 v) {
+    s.counters[static_cast<u32>(c)] = v;
+  };
+  put(obs::Ctr::kInsnsRetired, stats_.insns_seen);
+  put(obs::Ctr::kLoads, stats_.loads);
+  put(obs::Ctr::kStores, stats_.stores);
+  put(obs::Ctr::kTaintedFetches, stats_.tainted_fetches);
+  put(obs::Ctr::kPolicyEvals, stats_.policy_evals);
+  return s;
 }
 
 }  // namespace faros::core

@@ -32,6 +32,7 @@
 #include "core/report.h"
 #include "core/shadow.h"
 #include "introspection/monitor.h"
+#include "obs/obs.h"
 #include "os/kernel.h"
 #include "vm/cpu.h"
 
@@ -69,6 +70,11 @@ struct Options {
   /// (Section VI-D); past it the store degrades gracefully.
   u32 prov_store_max_lists = 1u << 22;
   u32 max_findings = 256;
+
+  /// Own a MetricSink and bind the shadow/store/engine counters to it.
+  /// Off, every counter handle is null and the hot-path cost is one
+  /// predicted branch per increment site (see src/obs/obs.h).
+  bool collect_metrics = true;
 };
 
 struct EngineStats {
@@ -141,6 +147,15 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   const EngineStats& stats() const { return stats_; }
   const Options& options() const { return opts_; }
 
+  /// The engine's metric sink (null when collect_metrics is off). Exposed
+  /// so the farm can add job-phase timers to the same sink.
+  obs::MetricSink* metrics() { return metrics_.get(); }
+  /// Counter snapshot with the EngineStats totals folded in (kInsnsRetired
+  /// etc. live in EngineStats; copying them at snapshot time keeps the
+  /// per-insn path free of double bookkeeping). `collected` is false when
+  /// metrics are off.
+  obs::MetricSnapshot metrics_snapshot() const;
+
   /// Provenance of a guest virtual address in `as` (analyst query).
   ProvListId prov_at(const vm::AddressSpace& as, VAddr va) const;
 
@@ -202,6 +217,18 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   std::vector<Finding> findings_;
   std::set<u64> flagged_sites_;  // (insn va, policy index) dedup
   EngineStats stats_;
+
+  std::unique_ptr<obs::MetricSink> metrics_;  // null = metrics off
+  obs::Counter fetch_hit_;
+  obs::Counter fetch_miss_;
+  obs::Counter tainted_load_;
+  obs::Counter tainted_store_;
+  obs::Counter taint_src_events_;
+  obs::Counter netflow_src_bytes_;
+  obs::Counter file_read_src_bytes_;
+  obs::Counter file_write_src_bytes_;
+  obs::Counter image_map_src_bytes_;
+  obs::Counter export_tag_bytes_;
 };
 
 }  // namespace faros::core

@@ -60,6 +60,7 @@ const std::vector<ProvTag>& ProvStore::get(ProvListId id) const {
 }
 
 ProvListId ProvStore::append_slow(ProvListId id, ProvTag tag, u64 memo_key) {
+  append_memo_miss_.inc();
   const auto& base = get(id);
   ProvListId result = id;
   if (std::find(base.begin(), base.end(), tag) == base.end()) {
@@ -76,6 +77,7 @@ ProvListId ProvStore::append_slow(ProvListId id, ProvTag tag, u64 memo_key) {
 }
 
 ProvListId ProvStore::merge_slow(ProvListId a, ProvListId b, u64 memo_key) {
+  merge_memo_miss_.inc();
   std::vector<ProvTag> tags = get(a);
   for (const ProvTag& t : get(b)) {
     if (tags.size() >= cap_) break;

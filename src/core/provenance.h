@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/tags.h"
+#include "obs/obs.h"
 
 namespace faros::core {
 
@@ -116,7 +117,10 @@ class ProvStore {
   /// case never leaves the header.
   ProvListId append(ProvListId id, ProvTag tag) {
     u64 key = (static_cast<u64>(id) << 32) | tag.key();
-    if (const ProvListId* hit = append_cache_.find(key)) return *hit;
+    if (const ProvListId* hit = append_cache_.find(key)) {
+      append_memo_hit_.inc();
+      return *hit;
+    }
     return append_slow(id, tag, key);
   }
 
@@ -126,7 +130,10 @@ class ProvStore {
     if (a == b || b == kEmptyProv) return a;
     if (a == kEmptyProv) return b;
     u64 key = (static_cast<u64>(a) << 32) | b;
-    if (const ProvListId* hit = merge_cache_.find(key)) return *hit;
+    if (const ProvListId* hit = merge_cache_.find(key)) {
+      merge_memo_hit_.inc();
+      return *hit;
+    }
     return merge_slow(a, b, key);
   }
 
@@ -147,6 +154,16 @@ class ProvStore {
   /// Times an intern was refused because the store is saturated (an
   /// exhaustion-attack indicator an analyst should look at).
   u64 saturated_ops() const { return saturated_ops_; }
+
+  /// Binds the memo-table hit/miss counters to `sink` (null unbinds).
+  /// Trivial-identity merges (empty operand, a == b) are not counted —
+  /// the memo rates describe the tables, not the early-outs.
+  void bind_obs(obs::MetricSink* sink) {
+    merge_memo_hit_ = {sink, obs::Ctr::kMergeMemoHit};
+    merge_memo_miss_ = {sink, obs::Ctr::kMergeMemoMiss};
+    append_memo_hit_ = {sink, obs::Ctr::kAppendMemoHit};
+    append_memo_miss_ = {sink, obs::Ctr::kAppendMemoMiss};
+  }
 
  private:
   struct Meta {
@@ -171,6 +188,10 @@ class ProvStore {
   std::unordered_map<u64, std::vector<ProvListId>> by_hash_;
   MemoCache append_cache_;
   MemoCache merge_cache_;
+  obs::Counter merge_memo_hit_;
+  obs::Counter merge_memo_miss_;
+  obs::Counter append_memo_hit_;
+  obs::Counter append_memo_miss_;
 };
 
 }  // namespace faros::core

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/provenance.h"
+#include "obs/obs.h"
 #include "vm/isa.h"
 
 namespace faros::core {
@@ -22,12 +23,15 @@ namespace faros::core {
 ///   directory:  frame number (pa >> 12)  ->  ShadowPage*
 ///   page:       flat ProvListId[4096] + a tainted-byte count
 ///
-/// Pages exist only while they hold at least one tainted byte, so the
-/// overwhelmingly common case — an access to memory nothing ever tainted —
-/// resolves to a single directory probe (and usually just a one-entry
-/// frame-cache compare). The per-page count makes "is this page clean?"
-/// O(1), which the engine exploits to skip per-byte work entirely on
-/// instruction fetch and on loads/stores that stay inside a clean page,
+/// Pages exist only while they hold at least one tainted byte — the moment
+/// the last tainted byte of a page is cleared (via set() or a partial
+/// clear_range()) the page is dropped, so long replays cannot accumulate
+/// dead pages and page_tainted() never probes an allocated-but-empty
+/// frame. The overwhelmingly common case — an access to memory nothing
+/// ever tainted — resolves to a single directory probe (and usually just a
+/// one-entry frame-cache compare). The per-page count makes "is this page
+/// clean?" O(1), which the engine exploits to skip per-byte work entirely
+/// on instruction fetch and on loads/stores that stay inside a clean page,
 /// and it lets clear_range()/frame recycling drop whole pages instead of
 /// erasing byte by byte.
 class ShadowMemory {
@@ -60,10 +64,11 @@ class ShadowMemory {
   }
 
   void set(PAddr pa, ProvListId id) {
-    Page* p = lookup(pa >> kPageShift);
+    const u64 frame = pa >> kPageShift;
+    Page* p = lookup(frame);
     if (!p) {
       if (id == kEmptyProv) return;  // clearing an untracked byte: no-op
-      p = add_page(pa >> kPageShift);
+      p = add_page(frame);
     }
     ProvListId& slot = p->prov[pa & kPageMask];
     if (slot == id) return;  // no semantic change: skip the version bump
@@ -73,6 +78,14 @@ class ShadowMemory {
     } else if (id == kEmptyProv) {
       --p->tainted;
       --total_tainted_;
+      if (p->tainted == 0) {
+        // Last tainted byte of the page cleared: drop the page rather than
+        // leaving an all-empty Page resident forever. The version stamp
+        // dies with the page; a recreated page draws a fresh, strictly
+        // larger epoch, so the never-reused-stamp invariant holds.
+        drop_page(frame);
+        return;
+      }
     }
     slot = id;
     p->version = ++epoch_;
@@ -93,11 +106,16 @@ class ShadowMemory {
 
   /// Any tainted byte in [pa, pa+len)? Assumes the range is physically
   /// contiguous (instruction fetch); O(pages overlapped), i.e. one or two
-  /// probes for an 8-byte fetch.
+  /// probes for an 8-byte fetch. A range running past the top of the
+  /// physical address space is clamped to it (no u64 wraparound).
   bool range_tainted(PAddr pa, u64 len) {
-    if (len == 0 || total_tainted_ == 0) return false;
+    if (len == 0) return false;
+    if (total_tainted_ == 0) {
+      clean_skip_.inc();
+      return false;
+    }
     u64 f0 = pa >> kPageShift;
-    u64 f1 = (pa + len - 1) >> kPageShift;
+    u64 f1 = last_byte(pa, len) >> kPageShift;
     for (u64 f = f0; f <= f1; ++f) {
       Page* p = lookup(f);
       if (p && p->tainted != 0) return true;
@@ -107,15 +125,14 @@ class ShadowMemory {
 
   void clear_range(PAddr pa, u64 len) {
     if (len == 0 || total_tainted_ == 0) return;
-    PAddr end = pa + len;
+    const PAddr last = last_byte(pa, len);
     u64 f0 = pa >> kPageShift;
-    u64 f1 = (end - 1) >> kPageShift;
+    u64 f1 = last >> kPageShift;
     for (u64 f = f0; f <= f1; ++f) {
       auto it = dir_.find(f);
       if (it == dir_.end()) continue;
       u32 lo = f == f0 ? static_cast<u32>(pa & kPageMask) : 0;
-      u32 hi = f == f1 ? static_cast<u32>((end - 1) & kPageMask) + 1
-                       : kPageBytes;
+      u32 hi = f == f1 ? static_cast<u32>(last & kPageMask) + 1 : kPageBytes;
       Page& p = *it->second;
       if (lo == 0 && hi == kPageBytes) {
         total_tainted_ -= p.tainted;  // page-level drop, no per-byte walk
@@ -137,14 +154,27 @@ class ShadowMemory {
       }
       if (cache_key_ == f + 1) cache_page_ = nullptr;
       dir_.erase(it);
+      page_drop_.inc();
     }
   }
 
   void clear() {
+    page_drop_.inc(dir_.size());
     dir_.clear();
     total_tainted_ = 0;
     cache_key_ = 0;
     cache_page_ = nullptr;
+  }
+
+  /// Binds the hot-path counters to `sink` (null unbinds). Counting sites:
+  /// the frame-cache probe, page allocation/drop, and the global
+  /// zero-taint skip in range_tainted().
+  void bind_obs(obs::MetricSink* sink) {
+    frame_hit_ = {sink, obs::Ctr::kShadowFrameCacheHit};
+    frame_miss_ = {sink, obs::Ctr::kShadowFrameCacheMiss};
+    page_alloc_ = {sink, obs::Ctr::kShadowPageAlloc};
+    page_drop_ = {sink, obs::Ctr::kShadowPageDrop};
+    clean_skip_ = {sink, obs::Ctr::kShadowCleanSkip};
   }
 
   /// Number of tainted bytes (the overtainting metric of the ablation
@@ -172,12 +202,24 @@ class ShadowMemory {
   }
 
  private:
+  /// Last byte of [pa, pa+len), clamped to the top of the address space so
+  /// a range ending at (or crossing) 2^64 never wraps to a small frame
+  /// number and silently skips — the end-of-RAM recycle case. len >= 1.
+  static PAddr last_byte(PAddr pa, u64 len) {
+    PAddr last = pa + (len - 1);
+    return last < pa ? ~static_cast<PAddr>(0) : last;
+  }
+
   /// Directory probe through a one-entry frame cache. Caching "no page"
   /// (nullptr) is deliberate: a clean-memory workload then resolves every
   /// fetch/load/store probe to a single integer compare. cache_key_ holds
   /// frame+1 so 0 means "empty cache".
   Page* lookup(u64 frame) {
-    if (cache_key_ == frame + 1) return cache_page_;
+    if (cache_key_ == frame + 1) {
+      frame_hit_.inc();
+      return cache_page_;
+    }
+    frame_miss_.inc();
     auto it = dir_.find(frame);
     Page* p = it == dir_.end() ? nullptr : it->second.get();
     cache_key_ = frame + 1;
@@ -189,7 +231,16 @@ class ShadowMemory {
     auto& slot = dir_[frame];
     slot = std::make_unique<Page>();
     if (cache_key_ == frame + 1) cache_page_ = slot.get();
+    page_alloc_.inc();
     return slot.get();
+  }
+
+  /// Frees the (empty) page of `frame`; downgrades a cached positive probe
+  /// to a cached absence so the frame cache never dangles.
+  void drop_page(u64 frame) {
+    if (cache_key_ == frame + 1) cache_page_ = nullptr;
+    dir_.erase(frame);
+    page_drop_.inc();
   }
 
   // unique_ptr values keep Page* stable across directory rehash, so the
@@ -199,6 +250,14 @@ class ShadowMemory {
   u64 epoch_ = 0;  // monotonic mutation counter; never reset (no ABA)
   u64 cache_key_ = 0;  // frame+1 of the cached probe; 0 = invalid
   Page* cache_page_ = nullptr;
+
+  // obs counters (no-ops until bind_obs); see the class comment in obs.h
+  // for the branch-on-null cost model.
+  obs::Counter frame_hit_;
+  obs::Counter frame_miss_;
+  obs::Counter page_alloc_;
+  obs::Counter page_drop_;
+  obs::Counter clean_skip_;
 };
 
 /// Byte-granular register shadow for one CPU context (one process).

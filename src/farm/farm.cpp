@@ -12,21 +12,39 @@ using Clock = std::chrono::steady_clock;
 /// Per-job watchdog: aborts the run on farm cancellation or when the
 /// wall-clock deadline passes. Polled between scheduling rounds (~quantum
 /// instructions), so a runaway guest is stopped within one round.
+///
+/// The *first* reason to fire is latched: the job's terminal status must be
+/// decided by what actually stopped the run, not by re-reading cancel_
+/// after the fact (a deadline abort racing a request_cancel() would
+/// otherwise misreport kTimeout as kCancelled).
 class Watchdog final : public os::RunGovernor {
  public:
+  enum class Reason { kNone, kCancel, kDeadline };
+
   Watchdog(const std::atomic<bool>& cancel, Clock::time_point deadline,
            bool has_deadline)
       : cancel_(cancel), deadline_(deadline), has_deadline_(has_deadline) {}
 
   bool should_stop() override {
-    if (cancel_.load(std::memory_order_relaxed)) return true;
-    return has_deadline_ && Clock::now() >= deadline_;
+    if (reason_ != Reason::kNone) return true;
+    if (cancel_.load(std::memory_order_relaxed)) {
+      reason_ = Reason::kCancel;
+      return true;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      reason_ = Reason::kDeadline;
+      return true;
+    }
+    return false;
   }
+
+  bool cancelled() const { return reason_ == Reason::kCancel; }
 
  private:
   const std::atomic<bool>& cancel_;
   Clock::time_point deadline_;
   bool has_deadline_;
+  Reason reason_ = Reason::kNone;
 };
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -60,11 +78,6 @@ JobResult Farm::run_once(const JobSpec& spec) const {
     r.error = std::move(msg);
     return r;
   };
-  auto stopped = [&] {
-    r.status = cancel_.load(std::memory_order_relaxed) ? JobStatus::kCancelled
-                                                       : JobStatus::kTimeout;
-    return r;
-  };
 
   std::unique_ptr<attacks::Scenario> sc = spec.make ? spec.make() : nullptr;
   if (!sc) return fail("job has no scenario factory");
@@ -74,6 +87,18 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   Watchdog dog(cancel_,
                Clock::now() + std::chrono::milliseconds(timeout_ms),
                timeout_ms != 0);
+  auto stopped = [&] {
+    // The watchdog latched what fired first; a cancel arriving after a
+    // deadline abort must not relabel the timeout.
+    r.status = dog.cancelled() ? JobStatus::kCancelled : JobStatus::kTimeout;
+    return r;
+  };
+
+  // Phase timers live in a run_once-local sink (the engine does not exist
+  // during the record phase); null when metrics are off so no clock is read.
+  obs::MetricSink timers;
+  obs::MetricSink* tsink =
+      cfg_.engine_opts.collect_metrics ? &timers : nullptr;
 
   // --- record (live run, no analysis plugins) ---
   os::Machine rec(cfg_.machine);
@@ -82,7 +107,11 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   if (source) rec.set_event_source(source.get());
   if (auto s = sc->setup(rec); !s.ok())
     return fail("setup: " + s.error().message);
-  os::RunStats rec_stats = rec.run(budget, &dog);
+  os::RunStats rec_stats;
+  {
+    obs::ScopedTimer t(tsink, obs::Tmr::kRecord);
+    rec_stats = rec.run(budget, &dog);
+  }
   if (rec_stats.aborted) return stopped();
   r.record_instructions = rec_stats.instructions;
 
@@ -96,10 +125,16 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   if (auto s = sc->setup(rep); !s.ok())
     return fail("replay setup: " + s.error().message);
   rep.load_replay(rec.recording());
-  os::RunStats rep_stats = rep.run(budget, &dog);
+  os::RunStats rep_stats;
+  {
+    obs::ScopedTimer t(tsink, obs::Tmr::kReplay);
+    rep_stats = rep.run(budget, &dog);
+  }
   if (rep_stats.aborted) return stopped();
 
   r.status = JobStatus::kOk;
+  r.metrics = engine.metrics_snapshot();
+  if (r.metrics.collected) r.metrics.timer_ns = timers.snapshot().timer_ns;
   r.replay_instructions = rep_stats.instructions;
   r.all_exited = rep_stats.all_exited;
   r.budget_exhausted = !rep_stats.all_exited && !rep_stats.deadlocked &&
@@ -137,6 +172,11 @@ JobResult Farm::run_job(const JobSpec& spec) const {
 
 void Farm::deliver(JobResult r) {
   std::lock_guard<std::mutex> lock(emit_mu_);
+  // Defensive: a duplicate delivery for an already-emitted id would lodge
+  // permanently at reorder_.begin() and wedge every later emission; a
+  // duplicate for a pending id would silently double-count. Exactly one
+  // result per id is the invariant — keep the first, drop the rest.
+  if (r.id < next_emit_ || reorder_.count(r.id)) return;
   reorder_.emplace(r.id, std::move(r));
   while (!reorder_.empty() && reorder_.begin()->first == next_emit_) {
     JobResult next = std::move(reorder_.begin()->second);
@@ -211,6 +251,16 @@ TriageReport Farm::run(std::vector<JobSpec> jobs) {
       case JobStatus::kCancelled: ++m.cancelled; break;
     }
     m.instructions += r.record_instructions + r.replay_instructions;
+    if (r.metrics.collected) {
+      m.record_s +=
+          static_cast<double>(
+              r.metrics.timer_ns[static_cast<u32>(obs::Tmr::kRecord)]) /
+          1e9;
+      m.replay_s +=
+          static_cast<double>(
+              r.metrics.timer_ns[static_cast<u32>(obs::Tmr::kReplay)]) /
+          1e9;
+    }
   }
   if (m.wall_s > 0) {
     m.jobs_per_s = m.ok / m.wall_s;

@@ -62,6 +62,8 @@ struct FarmMetrics {
   double insns_per_s = 0;
   double p50_ms = 0;  // per-job latency percentiles (completed jobs)
   double p95_ms = 0;
+  double record_s = 0;  // summed per-job record-phase wall time
+  double replay_s = 0;  // summed per-job replay-phase wall time
 };
 
 struct TriageReport {

@@ -12,6 +12,7 @@
 
 #include "attacks/scenarios.h"
 #include "common/types.h"
+#include "obs/obs.h"
 
 namespace faros::farm {
 
@@ -60,6 +61,13 @@ struct JobResult {
   u64 tainted_bytes = 0;
   u32 retries = 0;               // transient-error retries consumed
   std::string error;             // message for kError
+
+  // --- observability (counters deterministic; timers wall-clock) ---
+  // Engine counter snapshot for the replay (collected=false when the
+  // engine ran without metrics or the job never reached the replay).
+  // Counters are a pure function of the spec; timer_ns is not and stays
+  // out of the deterministic JSONL, like wall_ms.
+  obs::MetricSnapshot metrics;
 
   // --- timing (wall-clock; excluded from deterministic serialisation) ---
   double wall_ms = 0;

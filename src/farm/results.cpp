@@ -61,7 +61,9 @@ std::string summary_jsonl(const FarmMetrics& m) {
       .field("jobs_per_s", m.jobs_per_s)
       .field("insns_per_s", m.insns_per_s)
       .field("p50_ms", m.p50_ms)
-      .field("p95_ms", m.p95_ms);
+      .field("p95_ms", m.p95_ms)
+      .field("record_s", m.record_s)
+      .field("replay_s", m.replay_s);
   return w.str();
 }
 
@@ -71,6 +73,42 @@ std::string results_jsonl(const TriageReport& report) {
     out += job_jsonl(r);
     out += '\n';
   }
+  return out;
+}
+
+std::string job_metrics_jsonl(const JobResult& r) {
+  JsonWriter w;
+  w.field("type", "job_metrics").field("id", r.id).field("name", r.name);
+  obs::append_counter_fields(w, r.metrics);
+  return w.str();
+}
+
+std::string metrics_summary_jsonl(const TriageReport& report) {
+  obs::MetricSnapshot total;
+  u32 collected = 0;
+  for (const auto& r : report.results) {
+    if (!r.metrics.collected) continue;
+    ++collected;
+    total.merge(r.metrics);
+  }
+  // merge() also sums timer_ns; zero it so the (nondeterministic) timers
+  // can never leak into this deterministic stream.
+  total.timer_ns.fill(0);
+  JsonWriter w;
+  w.field("type", "metrics_summary").field("jobs_collected", collected);
+  obs::append_counter_fields(w, total);
+  return w.str();
+}
+
+std::string metrics_jsonl(const TriageReport& report) {
+  std::string out;
+  for (const auto& r : report.results) {
+    if (!r.metrics.collected) continue;
+    out += job_metrics_jsonl(r);
+    out += '\n';
+  }
+  out += metrics_summary_jsonl(report);
+  out += '\n';
   return out;
 }
 

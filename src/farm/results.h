@@ -29,4 +29,23 @@ std::string results_jsonl(const TriageReport& report);
 /// Human-readable one-line summary for consoles.
 std::string summary_text(const FarmMetrics& m);
 
+// --- metrics stream (obs counter snapshots; see src/obs/obs.h) ---
+//
+// Same contract as the results stream: per-job lines carry only counters,
+// which are a pure function of the JobSpec, so the concatenated stream is
+// byte-identical across worker counts. Wall-clock timers never appear.
+
+/// One JSONL line for a job's counter snapshot:
+/// {"type":"job_metrics","id":...,"name":...,"<ctr>":<n>,...}
+std::string job_metrics_jsonl(const JobResult& r);
+
+/// One JSONL line summing the counters of every collected job snapshot:
+/// {"type":"metrics_summary","jobs_collected":...,"<ctr>":<n>,...}
+std::string metrics_summary_jsonl(const TriageReport& report);
+
+/// Per-job metric lines (jobs with a collected snapshot, ascending id)
+/// followed by the summary line; newline-terminated. The string the
+/// metrics determinism tests compare across worker counts.
+std::string metrics_jsonl(const TriageReport& report);
+
 }  // namespace faros::farm

@@ -61,10 +61,6 @@ void Machine::pump_events() {
 RunStats Machine::run(u64 max_instructions, RunGovernor* gov) {
   RunStats stats;
   while (stats.instructions < max_instructions) {
-    if (gov && gov->should_stop()) {
-      stats.aborted = true;
-      return stats;
-    }
     pump_events();
     Process* p = kernel_.pick_next();
     if (!p) {
@@ -84,6 +80,14 @@ RunStats Machine::run(u64 max_instructions, RunGovernor* gov) {
       }
       stats.all_exited = kernel_.live_count() == 0;
       stats.deadlocked = !stats.all_exited;
+      return stats;
+    }
+    // Poll the governor only when there is genuinely more work to run: a
+    // workload that has already completed (or deadlocked) at the instant a
+    // deadline fires must report its true terminal state, not an abort.
+    // Polling at the loop top made kOk-vs-kTimeout depend on timing.
+    if (gov && gov->should_stop()) {
+      stats.aborted = true;
       return stats;
     }
     u64 quantum = std::min<u64>(cfg_.quantum,

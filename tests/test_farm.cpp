@@ -12,6 +12,7 @@
 #include "attacks/programs.h"
 #include "farm/farm.h"
 #include "farm/results.h"
+#include "os/machine.h"
 
 namespace faros {
 namespace {
@@ -158,6 +159,110 @@ TEST(Farm, DeterministicAcrossWorkerCounts) {
 
   EXPECT_EQ(serial_out, wide_out);
   EXPECT_FALSE(serial_out.empty());
+}
+
+TEST(Farm, MetricsJsonlDeterministicAcrossWorkerCounts) {
+  // Same contract as the results stream: per-job counters are a pure
+  // function of the spec, so the metrics stream is byte-identical no
+  // matter how jobs spread across workers.
+  auto jobs = corpus_jobs(attacks::injection_corpus());
+
+  FarmConfig serial_cfg;
+  serial_cfg.workers = 1;
+  Farm serial(serial_cfg);
+  std::string serial_out = farm::metrics_jsonl(serial.run(jobs));
+
+  FarmConfig wide_cfg;
+  wide_cfg.workers = 8;
+  Farm wide(wide_cfg);
+  std::string wide_out = farm::metrics_jsonl(wide.run(jobs));
+
+  EXPECT_EQ(serial_out, wide_out);
+  ASSERT_FALSE(serial_out.empty());
+  EXPECT_NE(serial_out.find("\"type\":\"job_metrics\""), std::string::npos);
+  EXPECT_NE(serial_out.find("\"type\":\"metrics_summary\""),
+            std::string::npos);
+  EXPECT_NE(serial_out.find("\"insns_retired\":"), std::string::npos);
+  // Wall-clock timers must never leak into the deterministic stream.
+  EXPECT_EQ(serial_out.find("record_ns"), std::string::npos);
+  EXPECT_EQ(serial_out.find("replay_ns"), std::string::npos);
+}
+
+TEST(Farm, MetricsOffYieldsEmptyMetricsStream) {
+  FarmConfig cfg;
+  cfg.engine_opts.collect_metrics = false;
+  Farm f(cfg);
+  auto report = f.run({tiny_job("quiet")});
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_FALSE(report.results[0].metrics.collected);
+  std::string out = farm::metrics_jsonl(report);
+  EXPECT_EQ(out.find("\"type\":\"job_metrics\""), std::string::npos);
+  EXPECT_NE(out.find("\"jobs_collected\":0"), std::string::npos);
+}
+
+TEST(Machine, CompletedWorkloadBeatsGovernorStop) {
+  // The watchdog/completion race, at the machine layer: a governor firing
+  // on a workload that has already finished must not turn the terminal
+  // state into an abort (the farm would misreport kOk as kTimeout).
+  struct AlwaysStop final : os::RunGovernor {
+    bool should_stop() override { return true; }
+  };
+  os::Machine m;
+  ASSERT_TRUE(m.boot().ok());
+  auto img = attacks::build_helper_program();
+  ASSERT_TRUE(img.ok());
+  m.kernel().vfs().create("C:/tiny.exe", img.value().serialize());
+  ASSERT_TRUE(m.kernel().spawn("C:/tiny.exe").ok());
+
+  // While work is pending the governor aborts before any quantum runs.
+  AlwaysStop gov;
+  os::RunStats aborted = m.run(50'000, &gov);
+  EXPECT_TRUE(aborted.aborted);
+  EXPECT_EQ(aborted.instructions, 0u);
+
+  os::RunStats done = m.run(50'000);
+  ASSERT_TRUE(done.all_exited);
+
+  // Once everything has exited, the same governor sees completion win.
+  os::RunStats after = m.run(50'000, &gov);
+  EXPECT_TRUE(after.all_exited);
+  EXPECT_FALSE(after.aborted);
+}
+
+TEST(Farm, WatchdogCompletionRaceYieldsExactlyOneResult) {
+  // Deadlines tuned to land right around job completion: whichever side
+  // wins, every job must yield exactly one result, in id order, with a
+  // coherent status. (The TSan CI job runs this under race detection.)
+  for (int round = 0; round < 3; ++round) {
+    FarmConfig cfg;
+    cfg.workers = 4;
+    std::atomic<u32> delivered{0};
+    cfg.on_result = [&](const JobResult&) { ++delivered; };
+    Farm f(cfg);
+
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < 48; ++i) {
+      JobSpec spec = tiny_job("race" + std::to_string(i));
+      spec.timeout_ms = 1 + (i % 3);
+      jobs.push_back(std::move(spec));
+    }
+    auto report = f.run(jobs);
+    ASSERT_EQ(report.results.size(), 48u);
+    EXPECT_EQ(delivered.load(), 48u);
+    for (u32 i = 0; i < report.results.size(); ++i) {
+      const JobResult& r = report.results[i];
+      EXPECT_EQ(r.id, i);
+      EXPECT_TRUE(r.status == JobStatus::kOk ||
+                  r.status == JobStatus::kTimeout)
+          << r.name << " -> " << farm::job_status_name(r.status);
+      // A run reported ok genuinely completed; timeouts carry no verdict.
+      if (r.status == JobStatus::kOk) {
+        EXPECT_TRUE(r.all_exited) << r.name;
+      } else {
+        EXPECT_STREQ(r.verdict(), "-") << r.name;
+      }
+    }
+  }
 }
 
 TEST(Farm, RunJobMatchesSerialAnalyze) {

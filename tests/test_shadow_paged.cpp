@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -68,7 +69,20 @@ TEST(PagedShadowProperty, AgreesWithReferenceUnderRandomOps) {
   ShadowMemory paged;
   ReferenceShadow ref;
 
+  // Page residency must track taint exactly: a page whose last tainted
+  // byte is cleared is dropped, so pages() equals the number of distinct
+  // frames holding taint in the reference. (Checked periodically — the
+  // reference walk is O(tainted bytes).)
+  auto expect_no_empty_pages = [&](int op) {
+    std::set<u64> frames;
+    for (const auto& [pa, id] : ref.entries()) {
+      frames.insert(pa >> ShadowMemory::kPageShift);
+    }
+    ASSERT_EQ(paged.pages(), frames.size()) << "op=" << op;
+  };
+
   for (int op = 0; op < 200000; ++op) {
+    if (op % 4096 == 0) expect_no_empty_pages(op);
     switch (rng.below(16)) {
       case 0: case 1: case 2: case 3: case 4: case 5: {
         // set: tainted (mostly) or explicit clear via id 0
@@ -112,6 +126,8 @@ TEST(PagedShadowProperty, AgreesWithReferenceUnderRandomOps) {
     ASSERT_EQ(paged.tainted_bytes(), ref.tainted_bytes()) << "op=" << op;
   }
 
+  expect_no_empty_pages(200000);
+
   // Exhaustive final agreement in both directions: every byte the paged
   // shadow reports exists identically in the reference...
   std::map<PAddr, ProvListId> from_paged;
@@ -136,18 +152,27 @@ TEST(PagedShadow, PageResidencyFollowsTaint) {
   EXPECT_EQ(s.pages(), 2u);
   EXPECT_EQ(s.tainted_bytes(), 3u);
 
-  // Per-byte clears empty the page but keep it resident (no alloc/free
-  // thrash on hot pages); its summary still reads clean.
+  // Clearing the last tainted byte of a page drops the page: an empty
+  // page is pure overhead (directory slot + 16KiB of zeros) and its
+  // absence is what keeps the clean fast paths one-probe cheap.
   s.set(0x1000, kEmptyProv);
+  EXPECT_EQ(s.pages(), 2u);  // 0x1fff still taints frame 1
   s.set(0x1fff, kEmptyProv);
-  EXPECT_EQ(s.pages(), 2u);
+  EXPECT_EQ(s.pages(), 1u);
   EXPECT_EQ(s.tainted_bytes(), 1u);
   EXPECT_FALSE(s.page_tainted(0x1000));
-  // A whole-page clear_range does release the (already empty) page.
+  // Re-clearing an absent page is a no-op.
   s.clear_range(0x1000, ShadowMemory::kPageBytes);
   EXPECT_EQ(s.pages(), 1u);
+  // A partial clear_range that empties the page drops it too.
+  s.set(0x3001, 6);
+  EXPECT_EQ(s.pages(), 1u);
+  s.clear_range(0x3000, 2);  // clears both remaining bytes of frame 3
+  EXPECT_EQ(s.pages(), 0u);
+  EXPECT_EQ(s.tainted_bytes(), 0u);
 
   // Whole-page clear_range drops the page without a byte walk.
+  s.set(0x3000, 5);
   s.clear_range(0x3000, ShadowMemory::kPageBytes);
   EXPECT_EQ(s.pages(), 0u);
   EXPECT_EQ(s.tainted_bytes(), 0u);
@@ -196,6 +221,48 @@ TEST(PagedShadow, VersionStampsAreMonotonicAndChangeOnMutation) {
   EXPECT_EQ(s.page_version(0x5000), 0u);
   s.set(0x5000, 4);
   EXPECT_GT(s.page_version(0x5000), v3);
+}
+
+// Regression: ranges at the very top of the 64-bit physical space used to
+// compute pa + len (or pa + len - 1) and wrap, so the end frame came out
+// as ~0 or 0 and the walk either skipped every page silently or read the
+// wrong extent. Both probes and clears must clamp to the last byte.
+TEST(PagedShadow, TopOfPhysicalMemoryRangesDoNotOverflow) {
+  constexpr PAddr kTop = ~static_cast<PAddr>(0);        // 0xffff...ffff
+  constexpr PAddr kLastFrame = kTop & ~static_cast<PAddr>(
+                                          ShadowMemory::kPageMask);
+
+  ShadowMemory s;
+  s.set(kTop, 42);
+  EXPECT_EQ(s.get(kTop), 42u);
+
+  // pa + len == 2^64 exactly (range ends at the last byte).
+  EXPECT_TRUE(s.range_tainted(kLastFrame, ShadowMemory::kPageBytes));
+  EXPECT_TRUE(s.range_tainted(kTop, 1));
+  // pa + len wraps *past* 2^64: the probe must still see the taint, not
+  // compute an end frame of 0 and skip the walk.
+  EXPECT_TRUE(s.range_tainted(kLastFrame - 8, 3 * ShadowMemory::kPageBytes));
+  EXPECT_TRUE(s.range_tainted(kTop, 8));
+  EXPECT_TRUE(s.range_tainted(kTop - 3, 100));
+
+  // A clamped probe must not report taint that is not there.
+  ShadowMemory clean;
+  clean.set(0x1000, 7);  // low page only
+  EXPECT_FALSE(clean.range_tainted(kTop - 100, 500));
+
+  // clear_range with a wrapping extent clears up to the top and stops.
+  s.set(kLastFrame, 9);
+  s.set(kLastFrame - 1, 11);  // second-to-last frame, must survive
+  s.clear_range(kLastFrame, 2 * ShadowMemory::kPageBytes);
+  EXPECT_EQ(s.get(kTop), kEmptyProv);
+  EXPECT_EQ(s.get(kLastFrame), kEmptyProv);
+  EXPECT_EQ(s.get(kLastFrame - 1), 11u);
+  EXPECT_EQ(s.tainted_bytes(), 1u);
+
+  // len == 0 at the top is a no-op, not a full-range clear.
+  s.clear_range(kTop, 0);
+  EXPECT_FALSE(s.range_tainted(kTop, 0));
+  EXPECT_EQ(s.get(kLastFrame - 1), 11u);
 }
 
 TEST(PagedShadow, ClearResetsEverything) {

@@ -7,7 +7,12 @@
 //   faros_triage                         # full corpus, hardware workers
 //   faros_triage --workers 4 --filter jit
 //   faros_triage --category injection --out results.jsonl
+//   faros_triage --metrics metrics.jsonl # obs counter stream per job
 //   faros_triage --list                  # print the catalogue and exit
+//
+// FAROS_METRICS_JSON=<path> in the environment is a fallback for --metrics
+// (mirroring FAROS_BENCH_JSON for the benches); the flag wins when both
+// are given.
 //
 // Exit code: 0 when every job completed (flagged or clean), 1 on harness
 // errors / timeouts / bad usage.
@@ -37,6 +42,8 @@ void usage() {
                "60000; 0 = none)\n"
                "  --budget N       per-job instruction budget override\n"
                "  --out PATH       write JSONL records + summary to PATH\n"
+               "  --metrics PATH   write per-job obs counter JSONL to PATH\n"
+               "                   (or set FAROS_METRICS_JSON)\n"
                "  --list           print the job catalogue and exit\n"
                "  --quiet          no per-job console lines\n");
 }
@@ -53,9 +60,10 @@ bool parse_u64(const char* s, u64* out) {
 
 int main(int argc, char** argv) {
   farm::FarmConfig cfg;
-  std::string filter, category, out_path;
+  std::string filter, category, out_path, metrics_path;
   u64 max_jobs = 0, budget = 0, workers = 0;
   bool list_only = false, quiet = false;
+  if (const char* env = std::getenv("FAROS_METRICS_JSON")) metrics_path = env;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
     else if (arg == "--filter" && i + 1 < argc) filter = argv[++i];
     else if (arg == "--category" && i + 1 < argc) category = argv[++i];
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
     else if (arg == "--list") list_only = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
@@ -121,12 +130,25 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  FILE* metrics_out = nullptr;
+  if (!metrics_path.empty()) {
+    metrics_out = std::fopen(metrics_path.c_str(), "w");
+    if (!metrics_out) {
+      std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
+                   metrics_path.c_str());
+      if (out) std::fclose(out);
+      return 1;
+    }
+  }
 
   // Stream each record the moment the reorder buffer releases it: the
   // console and the JSONL file both see stable job-id order live.
   const size_t total = jobs.size();  // jobs is moved into run() below
   cfg.on_result = [&](const farm::JobResult& r) {
     if (out) std::fprintf(out, "%s\n", farm::job_jsonl(r).c_str());
+    if (metrics_out && r.metrics.collected) {
+      std::fprintf(metrics_out, "%s\n", farm::job_metrics_jsonl(r).c_str());
+    }
     if (!quiet) {
       std::printf("[%4u/%4zu] %-36s %-10s %-9s %-3s %s\n", r.id + 1,
                   total, r.name.c_str(), r.category.c_str(),
@@ -142,6 +164,11 @@ int main(int argc, char** argv) {
   if (out) {
     std::fprintf(out, "%s\n", farm::summary_jsonl(report.metrics).c_str());
     std::fclose(out);
+  }
+  if (metrics_out) {
+    std::fprintf(metrics_out, "%s\n",
+                 farm::metrics_summary_jsonl(report).c_str());
+    std::fclose(metrics_out);
   }
 
   u32 tp = 0, fp = 0, tn = 0, fn = 0;
