@@ -84,14 +84,16 @@ Result<Bytes> build_payload(const PayloadSpec& spec) {
       a.callr(Reg::R9);
       a.movi(Reg::R5, 11);
       a.movi(Reg::R11, 0);
-      a.label("lc_loop");
+      // "lc_" is the export walk's label namespace (it defines lc_done);
+      // the compute loop gets its own prefix.
+      a.label("lcc_loop");
       a.cmpi(Reg::R11, static_cast<i32>(spec.compute_iters));
-      a.bgeu("lc_done");
+      a.bgeu("lcc_done");
       a.muli(Reg::R5, Reg::R5, 17);
       a.addi(Reg::R5, Reg::R5, 29);
       a.addi(Reg::R11, Reg::R11, 1);
-      a.jmp("lc_loop");
-      a.label("lc_done");
+      a.jmp("lcc_loop");
+      a.label("lcc_done");
       break;
     }
   }

@@ -83,6 +83,28 @@ Result<AnalyzedRun> analyze(Scenario& sc, const core::Options& opts,
   return out;
 }
 
+Result<std::vector<ExtractedImage>> extract_images(
+    Scenario& sc, const os::MachineConfig& cfg) {
+  os::Machine m(cfg);
+  if (auto b = m.boot(); !b.ok()) {
+    return Err<std::vector<ExtractedImage>>("boot: " + b.error().message);
+  }
+  if (auto s = sc.setup(m); !s.ok()) {
+    return Err<std::vector<ExtractedImage>>("setup: " + s.error().message);
+  }
+  std::vector<ExtractedImage> out;
+  // Vfs::list() is path-sorted, which makes the extracted set (and every
+  // downstream static report) deterministic.
+  for (const std::string& path : m.kernel().vfs().list()) {
+    auto data = m.kernel().vfs().read_all(path);
+    if (!data.ok()) continue;
+    auto img = os::Image::deserialize(data.value());
+    if (!img.ok()) continue;  // documents, payload blobs, ... — not images
+    out.push_back(ExtractedImage{path, std::move(img).take()});
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Reflective DLL injection.
 

@@ -70,6 +70,19 @@ struct AnalyzedRun {
 Result<AnalyzedRun> analyze(Scenario& sc, const core::Options& opts = {},
                             const os::MachineConfig& cfg = {});
 
+/// The static-analysis view of a scenario (src/sa's input): boots a scratch
+/// machine, runs setup() — which installs images into the VFS and spawns
+/// the initial processes, but retires zero guest instructions — and returns
+/// every VFS file that parses as an SX32 image, in path order. Setup is
+/// deterministic, so the extracted set is a pure function of the scenario.
+struct ExtractedImage {
+  std::string path;  // VFS path the image was installed at
+  os::Image image;
+};
+
+Result<std::vector<ExtractedImage>> extract_images(
+    Scenario& sc, const os::MachineConfig& cfg = {});
+
 // ---------------------------------------------------------------------------
 // The six in-memory-injection scenarios of the paper's evaluation.
 

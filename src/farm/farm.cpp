@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "sa/analyzer.h"
+
 namespace faros::farm {
 
 namespace {
@@ -100,6 +102,29 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   obs::MetricSink* tsink =
       cfg_.engine_opts.collect_metrics ? &timers : nullptr;
 
+  // --- static prefilter (zero-execution; never gates the dynamic run) ---
+  if (cfg_.static_prefilter) {
+    obs::ScopedTimer t(tsink, obs::Tmr::kStatic);
+    auto extracted = attacks::extract_images(*sc, cfg_.machine);
+    if (!extracted.ok()) {
+      r.sa_error = extracted.error().message;
+    } else {
+      std::vector<os::Image> images;
+      images.reserve(extracted.value().size());
+      for (auto& e : extracted.value()) images.push_back(std::move(e.image));
+      sa::SaOptions sopts;
+      sopts.metrics = tsink;
+      sa::ProgramReport rep = sa::analyze_images(spec.name, images, sopts);
+      r.sa_analyzed = true;
+      r.sa_flagged = rep.flagged();
+      r.sa_images = rep.images;
+      r.sa_blocks = rep.blocks;
+      r.sa_findings = rep.findings;
+      r.sa_risk = rep.risk;
+      r.sa_rules = std::move(rep.rules);
+    }
+  }
+
   // --- record (live run, no analysis plugins) ---
   os::Machine rec(cfg_.machine);
   if (auto b = rec.boot(); !b.ok()) return fail("boot: " + b.error().message);
@@ -134,7 +159,16 @@ JobResult Farm::run_once(const JobSpec& spec) const {
 
   r.status = JobStatus::kOk;
   r.metrics = engine.metrics_snapshot();
-  if (r.metrics.collected) r.metrics.timer_ns = timers.snapshot().timer_ns;
+  if (r.metrics.collected) {
+    // The run_once-local sink carries the phase timers plus the static-
+    // prefilter counters (the engine never touches those cells, so the
+    // element-wise add cannot double-count).
+    obs::MetricSnapshot local = timers.snapshot();
+    r.metrics.timer_ns = local.timer_ns;
+    for (u32 i = 0; i < obs::kCtrCount; ++i) {
+      r.metrics.counters[i] += local.counters[i];
+    }
+  }
   r.replay_instructions = rep_stats.instructions;
   r.all_exited = rep_stats.all_exited;
   r.budget_exhausted = !rep_stats.all_exited && !rep_stats.deadlocked &&
@@ -251,7 +285,15 @@ TriageReport Farm::run(std::vector<JobSpec> jobs) {
       case JobStatus::kCancelled: ++m.cancelled; break;
     }
     m.instructions += r.record_instructions + r.replay_instructions;
+    if (r.sa_analyzed) {
+      ++m.sa_analyzed;
+      if (r.sa_flagged) ++m.sa_flagged;
+    }
     if (r.metrics.collected) {
+      m.static_s +=
+          static_cast<double>(
+              r.metrics.timer_ns[static_cast<u32>(obs::Tmr::kStatic)]) /
+          1e9;
       m.record_s +=
           static_cast<double>(
               r.metrics.timer_ns[static_cast<u32>(obs::Tmr::kRecord)]) /

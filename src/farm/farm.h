@@ -39,6 +39,11 @@ struct FarmConfig {
   u64 timeout_ms = 60'000;
   /// Retries for kError jobs (transient harness failures).
   u32 retries = 1;
+  /// Run the zero-execution static analyzer (src/sa) over each job's
+  /// extracted images before record/replay and stamp the JobResult with
+  /// the static risk score / rule hits. Purely additive: dynamic verdicts
+  /// are untouched.
+  bool static_prefilter = false;
   /// Engine options applied to every job's replay.
   core::Options engine_opts;
   /// Per-machine config for record and replay.
@@ -64,6 +69,9 @@ struct FarmMetrics {
   double p95_ms = 0;
   double record_s = 0;  // summed per-job record-phase wall time
   double replay_s = 0;  // summed per-job replay-phase wall time
+  u32 sa_analyzed = 0;        // jobs the static prefilter covered
+  u32 sa_flagged = 0;         // of those, statically flagged
+  double static_s = 0;        // summed static-prefilter wall time
 };
 
 struct TriageReport {

@@ -62,6 +62,19 @@ struct JobResult {
   u32 retries = 0;               // transient-error retries consumed
   std::string error;             // message for kError
 
+  // --- static prefilter (FarmConfig::static_prefilter; deterministic) ---
+  // Filled by the zero-execution sa::analyze pass over the job's extracted
+  // images. The static verdict is an analyst oracle next to the dynamic
+  // one: it never gates or alters record/replay.
+  bool sa_analyzed = false;
+  bool sa_flagged = false;      // risk >= sa::kStaticRiskThreshold
+  u32 sa_images = 0;            // SX32 images extracted and analyzed
+  u32 sa_blocks = 0;            // basic blocks recovered
+  u32 sa_findings = 0;          // lint findings across all images
+  u32 sa_risk = 0;              // summed severity weights
+  std::vector<std::string> sa_rules;  // sorted unique rule names that fired
+  std::string sa_error;         // extraction failure (job still runs)
+
   // --- observability (counters deterministic; timers wall-clock) ---
   // Engine counter snapshot for the replay (collected=false when the
   // engine ran without metrics or the job never reached the replay).
@@ -76,6 +89,15 @@ struct JobResult {
   const char* verdict() const {
     if (status != JobStatus::kOk) return "-";
     if (flagged) return expect_flagged ? "TP" : "FP";
+    return expect_flagged ? "FN" : "TN";
+  }
+
+  /// Static-prefilter verdict against the same ground truth ("-" when the
+  /// prefilter did not run). Independent of the dynamic status: the static
+  /// pass needs no execution, so even a timed-out job has one.
+  const char* static_verdict() const {
+    if (!sa_analyzed) return "-";
+    if (sa_flagged) return expect_flagged ? "TP" : "FP";
     return expect_flagged ? "FN" : "TN";
   }
 };

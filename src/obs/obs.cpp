@@ -30,6 +30,11 @@ const char* ctr_name(Ctr c) {
     case Ctr::kFileWriteSrcBytes: return "file_write_src_bytes";
     case Ctr::kImageMapSrcBytes: return "image_map_src_bytes";
     case Ctr::kExportTagBytes: return "export_tag_bytes";
+    case Ctr::kSaImagesAnalyzed: return "sa_images_analyzed";
+    case Ctr::kSaBlocksRecovered: return "sa_blocks_recovered";
+    case Ctr::kSaInsnsDecoded: return "sa_insns_decoded";
+    case Ctr::kSaIndirectsResolved: return "sa_indirects_resolved";
+    case Ctr::kSaRulesFired: return "sa_rules_fired";
     case Ctr::kCount: break;
   }
   return "?";
@@ -39,6 +44,7 @@ const char* tmr_name(Tmr t) {
   switch (t) {
     case Tmr::kRecord: return "record_ns";
     case Tmr::kReplay: return "replay_ns";
+    case Tmr::kStatic: return "static_ns";
     case Tmr::kCount: break;
   }
   return "?";

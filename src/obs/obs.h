@@ -84,6 +84,13 @@ enum class Ctr : u32 {
   kImageMapSrcBytes,      // image bytes tainted at map time
   kExportTagBytes,        // export-table / IAT bytes tagged
 
+  // --- static analyzer (src/sa; farm --static-prefilter) ---
+  kSaImagesAnalyzed,      // images run through sa::analyze_image
+  kSaBlocksRecovered,     // basic blocks recovered across those images
+  kSaInsnsDecoded,        // instructions inside recovered blocks
+  kSaIndirectsResolved,   // kJr/kCallr sites resolved by the dataflow pass
+  kSaRulesFired,          // lint findings emitted
+
   kCount,
 };
 
@@ -96,6 +103,7 @@ const char* ctr_name(Ctr c);
 enum class Tmr : u32 {
   kRecord = 0,  // live record phase of a farm job
   kReplay,      // replay-under-FAROS phase of a farm job
+  kStatic,      // static-prefilter phase (image extraction + sa::analyze)
   kCount,
 };
 

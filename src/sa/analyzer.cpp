@@ -1,0 +1,152 @@
+#include "sa/analyzer.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace faros::sa {
+
+ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
+  ImageReport rep;
+  rep.image = img.name;
+  rep.base = img.base_va;
+  rep.entry = img.entry_va();
+  rep.size = static_cast<u32>(img.blob.size());
+
+  // Alternate recovery and dataflow until no new indirect target resolves:
+  // a target proven by constant propagation becomes a descent root, which
+  // can expose more code, which can feed the next resolution.
+  std::map<u32, u32> resolved;
+  Cfg cfg;
+  DataflowResult df;
+  u32 passes = std::max(1u, opts.max_passes);
+  for (u32 pass = 0; pass < passes; ++pass) {
+    cfg = recover_cfg(img, resolved);
+    df = run_dataflow(cfg);
+    ++rep.passes;
+    bool progressed = false;
+    for (const IndirectSite& site : cfg.indirects) {
+      if (site.resolved || resolved.count(site.va)) continue;
+      auto it = df.indirect_value.find(site.va);
+      if (it == df.indirect_value.end()) continue;
+      const AbsVal& v = it->second;
+      if (v.kind != ValKind::kConst) continue;
+      if (!cfg.contains(v.c) || (v.c - cfg.base) % vm::kInsnSize != 0) {
+        continue;  // constant, but not a code address we can descend into
+      }
+      resolved[site.va] = v.c;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  rep.blocks = static_cast<u32>(cfg.blocks.size());
+  rep.insns = cfg.insn_count;
+  rep.indirect_sites = static_cast<u32>(cfg.indirects.size());
+  for (const IndirectSite& site : cfg.indirects) {
+    if (site.resolved) ++rep.resolved_indirects;
+  }
+  rep.dead_regions = static_cast<u32>(cfg.dead_regions.size());
+  rep.invalid_sites = static_cast<u32>(cfg.invalid_sites.size());
+
+  RuleContext ctx{img, cfg, df};
+  rep.findings = run_rules(ctx);
+  for (const SaFinding& f : rep.findings) {
+    rep.risk += severity_weight(f.severity);
+  }
+  rep.cfg = std::move(cfg);
+
+  if (opts.metrics) {
+    opts.metrics->add(obs::Ctr::kSaImagesAnalyzed);
+    opts.metrics->add(obs::Ctr::kSaBlocksRecovered, rep.blocks);
+    opts.metrics->add(obs::Ctr::kSaInsnsDecoded, rep.insns);
+    opts.metrics->add(obs::Ctr::kSaIndirectsResolved, rep.resolved_indirects);
+    opts.metrics->add(obs::Ctr::kSaRulesFired, rep.findings.size());
+  }
+  return rep;
+}
+
+ProgramReport analyze_images(const std::string& name,
+                             const std::vector<os::Image>& images,
+                             const SaOptions& opts) {
+  ProgramReport rep;
+  rep.name = name;
+  for (const os::Image& img : images) {
+    ImageReport ir = analyze_image(img, opts);
+    ++rep.images;
+    rep.blocks += ir.blocks;
+    rep.insns += ir.insns;
+    rep.findings += static_cast<u32>(ir.findings.size());
+    rep.risk += ir.risk;
+    for (const SaFinding& f : ir.findings) rep.rules.push_back(f.rule);
+    rep.per_image.push_back(std::move(ir));
+  }
+  std::sort(rep.rules.begin(), rep.rules.end());
+  rep.rules.erase(std::unique(rep.rules.begin(), rep.rules.end()),
+                  rep.rules.end());
+  return rep;
+}
+
+std::string rules_json(const std::vector<std::string>& rules) {
+  std::string out = "[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(rules[i]);
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+std::string finding_jsonl(const std::string& program,
+                          const std::string& image, const SaFinding& f) {
+  JsonWriter w;
+  w.field("type", "finding")
+      .field("program", program)
+      .field("image", image)
+      .field("rule", f.rule)
+      .field("severity", severity_name(f.severity))
+      .field("va", f.va)
+      .field("disasm", f.disasm)
+      .field("detail", f.detail);
+  return w.str();
+}
+
+std::string image_jsonl(const std::string& program, const ImageReport& r) {
+  JsonWriter w;
+  w.field("type", "image")
+      .field("program", program)
+      .field("image", r.image)
+      .field("base", r.base)
+      .field("entry", r.entry)
+      .field("size", r.size)
+      .field("blocks", r.blocks)
+      .field("insns", r.insns)
+      .field("indirect_sites", r.indirect_sites)
+      .field("resolved_indirects", r.resolved_indirects)
+      .field("dead_regions", r.dead_regions)
+      .field("invalid_sites", r.invalid_sites)
+      .field("passes", r.passes)
+      .field("findings", static_cast<u32>(r.findings.size()))
+      .field("risk", r.risk);
+  return w.str();
+}
+
+std::string program_jsonl(const std::string& category,
+                          const ProgramReport& r) {
+  JsonWriter w;
+  w.field("type", "program")
+      .field("name", r.name)
+      .field("category", category)
+      .field("images", r.images)
+      .field("blocks", r.blocks)
+      .field("insns", r.insns)
+      .field("findings", r.findings)
+      .field("risk", r.risk)
+      .field("static_flagged", r.flagged())
+      .raw_field("rules", rules_json(r.rules));
+  return w.str();
+}
+
+}  // namespace faros::sa

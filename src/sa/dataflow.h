@@ -1,0 +1,81 @@
+// Forward dataflow over the recovered CFG: a per-register constant /
+// taint-shape lattice propagated by a worklist. Its one job is to prove
+// things about indirect control flow and store targets before any
+// instruction executes — resolve kMovi/kAddPc-fed kJr/kCallr sites, and
+// tell the rules whether a branch register or store address is a known
+// constant, an unknown, or something derived from memory or a syscall
+// result (the classic "loaded pointer" shape every injection loader
+// exhibits).
+//
+// Lattice per register: kUnknown (bottom, never written on this path) ->
+// kConst(c) -> kVaries (top), plus a monotone from_load bit that survives
+// copies and arithmetic. Constant folding mirrors src/vm/cpu.cpp exactly
+// (u32 wrap, shift masking) so a "resolved" target is the address the
+// interpreter would really jump to.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "sa/cfg.h"
+
+namespace faros::sa {
+
+enum class ValKind : u8 {
+  kUnknown = 0,  // lattice bottom: no path has defined the register yet
+  kConst,        // known 32-bit constant
+  kVaries,       // lattice top: runtime-dependent
+};
+
+struct AbsVal {
+  ValKind kind = ValKind::kUnknown;
+  u32 c = 0;               // valid when kind == kConst
+  // (Transitively) derived from a memory load or a syscall result — a
+  // value that only exists at runtime. The static mirror of a taint mark.
+  bool from_load = false;
+
+  bool operator==(const AbsVal&) const = default;
+
+  static AbsVal konst(u32 v, bool loaded = false) {
+    return AbsVal{ValKind::kConst, v, loaded};
+  }
+  static AbsVal varies(bool loaded = false) {
+    return AbsVal{ValKind::kVaries, 0, loaded};
+  }
+};
+
+/// Lattice join (path merge).
+AbsVal join(const AbsVal& a, const AbsVal& b);
+
+struct RegState {
+  std::array<AbsVal, vm::kNumRegs> regs{};
+  bool operator==(const RegState&) const = default;
+
+  static RegState all_varies() {
+    RegState s;
+    s.regs.fill(AbsVal::varies());
+    return s;
+  }
+};
+
+/// Abstract-interprets one instruction at `va` over `st` in place.
+/// Control-flow side effects (call clobbering) are edge semantics and live
+/// in run_dataflow, not here.
+void transfer(const vm::Instruction& insn, u32 va, RegState& st);
+
+struct DataflowResult {
+  /// Converged in-state per block (keyed by block start va).
+  std::map<u32, RegState> block_in;
+  /// Abstract value of rs1 at each kJr/kCallr site, keyed by site va.
+  std::map<u32, AbsVal> indirect_value;
+  /// Abstract base-register value at each load/store site, keyed by va.
+  std::map<u32, AbsVal> mem_base_value;
+  u32 iterations = 0;  // block visits until the fixpoint
+};
+
+/// Worklist fixpoint over `cfg`. Roots (entry, exports, resolved indirect
+/// targets) start all-kVaries; a call terminator clobbers every register
+/// along all outgoing edges (callee effects are unknown).
+DataflowResult run_dataflow(const Cfg& cfg);
+
+}  // namespace faros::sa

@@ -1,0 +1,328 @@
+#include "sa/rules.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "os/syscalls.h"
+
+namespace faros::sa {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kAlert: return "alert";
+  }
+  return "?";
+}
+
+u32 severity_weight(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return 1;
+    case Severity::kWarn: return 3;
+    case Severity::kAlert: return 10;
+  }
+  return 0;
+}
+
+namespace {
+
+using vm::Opcode;
+
+/// Walks every instruction of every block with the converged register
+/// state just before it executes.
+template <typename Fn>
+void for_each_insn_state(const RuleContext& ctx, Fn&& fn) {
+  for (const auto& [start, blk] : ctx.cfg.blocks) {
+    auto in = ctx.df.block_in.find(start);
+    if (in == ctx.df.block_in.end()) continue;
+    RegState st = in->second;
+    for (size_t i = 0; i < blk.insns.size(); ++i) {
+      u32 va = blk.insn_va(i);
+      fn(va, blk.insns[i], st);
+      transfer(blk.insns[i], va, st);
+    }
+  }
+}
+
+/// True when a dead region looks like staged code rather than data: a
+/// non-trivial run of real instructions ending in control flow.
+bool code_shaped(const DeadRegion& r) {
+  return r.insns >= 4 && r.non_nop >= 4 && r.has_terminator;
+}
+
+// --- smc-write-to-code -----------------------------------------------------
+// A store whose address is statically known and lands inside a reached
+// basic block: the program overwrites bytes it can also execute — the
+// self-modifying-code candidate FAROS later confirms dynamically via the
+// tainted-fetch policy.
+class WriteIntoCodeRule final : public Rule {
+ public:
+  const char* name() const override { return "smc-write-to-code"; }
+  Severity severity() const override { return Severity::kAlert; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    for_each_insn_state(ctx, [&](u32 va, const vm::Instruction& insn,
+                                 const RegState& st) {
+      if (!vm::is_store(insn.op) || insn.op == Opcode::kPush) return;
+      const AbsVal& base = st.regs[insn.rs1];
+      if (base.kind != ValKind::kConst) return;
+      u32 ea = base.c + insn.imm;
+      if (!ctx.cfg.in_code(ea)) return;
+      out.push_back(SaFinding{
+          name(), severity(), va, vm::disassemble(insn),
+          strf("store writes 0x%08x, inside reached code block 0x%08x", ea,
+               ctx.cfg.block_containing(ea)->start)});
+    });
+  }
+};
+
+// --- store-then-indirect ---------------------------------------------------
+// The loader shape: the program writes memory at computed (non-constant)
+// addresses, then transfers control through a register that is either
+// memory-derived or provably outside the image — the static silhouette of
+// "copy payload somewhere executable and jump to it".
+class StoreThenIndirectRule final : public Rule {
+ public:
+  const char* name() const override { return "store-then-indirect"; }
+  Severity severity() const override { return Severity::kAlert; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    u32 computed_stores = 0;
+    for (const auto& [va, base] : ctx.df.mem_base_value) {
+      const BasicBlock* blk = ctx.cfg.block_containing(va);
+      if (!blk) continue;
+      size_t idx = (va - blk->start) / vm::kInsnSize;
+      const vm::Instruction& insn = blk->insns[idx];
+      if (!vm::is_store(insn.op) || insn.op == Opcode::kPush) continue;
+      if (base.kind != ValKind::kConst) ++computed_stores;
+    }
+    if (computed_stores == 0) return;
+    for (const auto& site : ctx.cfg.indirects) {
+      auto it = ctx.df.indirect_value.find(site.va);
+      if (it == ctx.df.indirect_value.end()) continue;
+      const AbsVal& v = it->second;
+      bool escapes_image =
+          v.kind == ValKind::kConst && !ctx.cfg.contains(v.c);
+      bool opaque = v.kind != ValKind::kConst && v.from_load;
+      if (!escapes_image && !opaque) continue;
+      const BasicBlock* blk = ctx.cfg.block_containing(site.va);
+      const vm::Instruction& insn =
+          blk->insns[(site.va - blk->start) / vm::kInsnSize];
+      out.push_back(SaFinding{
+          name(), severity(), site.va, vm::disassemble(insn),
+          strf("%s through %s register after %u computed store%s",
+               vm::opcode_name(site.op),
+               escapes_image ? "an out-of-image constant" : "a memory-derived",
+               computed_stores, computed_stores == 1 ? "" : "s")});
+    }
+  }
+};
+
+// --- injection-syscall -----------------------------------------------------
+// A reachable syscall site whose service number constant-folds to one of
+// the cross-process injection primitives: writing another process's memory,
+// redirecting its entry point, or unmapping its image (the hollowing step).
+// The static twin of "imports WriteProcessMemory" — no benign corpus
+// program has a reason to reach these.
+class InjectionSyscallRule final : public Rule {
+ public:
+  const char* name() const override { return "injection-syscall"; }
+  Severity severity() const override { return Severity::kAlert; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    for_each_insn_state(ctx, [&](u32 va, const vm::Instruction& insn,
+                                 const RegState& st) {
+      if (insn.op != Opcode::kSyscall) return;
+      const AbsVal& num = st.regs[vm::R0];
+      if (num.kind != ValKind::kConst) return;
+      const auto sys = static_cast<os::Sys>(num.c);
+      if (sys != os::Sys::kNtWriteVirtualMemory &&
+          sys != os::Sys::kNtSetEntryPoint &&
+          sys != os::Sys::kNtUnmapViewOfSection) {
+        return;
+      }
+      out.push_back(SaFinding{
+          name(), severity(), va, vm::disassemble(insn),
+          strf("reachable %s syscall (cross-process injection primitive)",
+               os::syscall_name(num.c))});
+    });
+  }
+};
+
+// --- syscall-unresolved-flow -----------------------------------------------
+// Syscalls reachable while the CFG still contains unresolved indirect
+// branches: the analyst cannot statically bound what the program asks the
+// kernel for. One finding per image, carrying the counts.
+class SyscallUnresolvedFlowRule final : public Rule {
+ public:
+  const char* name() const override { return "syscall-unresolved-flow"; }
+  Severity severity() const override { return Severity::kWarn; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    u32 unresolved = 0;
+    for (const auto& site : ctx.cfg.indirects) {
+      if (!site.resolved) ++unresolved;
+    }
+    if (unresolved == 0) return;
+    u32 syscalls = 0;
+    u32 first_va = 0;
+    std::string first_disasm;
+    for (const auto& [start, blk] : ctx.cfg.blocks) {
+      (void)start;
+      for (size_t i = 0; i < blk.insns.size(); ++i) {
+        if (blk.insns[i].op != Opcode::kSyscall) continue;
+        if (syscalls == 0) {
+          first_va = blk.insn_va(i);
+          first_disasm = vm::disassemble(blk.insns[i]);
+        }
+        ++syscalls;
+      }
+    }
+    if (syscalls == 0) return;
+    out.push_back(SaFinding{
+        name(), severity(), first_va, first_disasm,
+        strf("%u syscall site%s reachable with %u unresolved indirect "
+             "branch%s",
+             syscalls, syscalls == 1 ? "" : "s", unresolved,
+             unresolved == 1 ? "" : "es")});
+  }
+};
+
+// --- embedded-code-blob ----------------------------------------------------
+// An unreachable region that decodes as real code ending in control flow:
+// the classic staged payload (the hollowing loader carries its keylogger
+// exactly like this). Dead-code-as-data stays in the info-level rule below.
+class EmbeddedCodeBlobRule final : public Rule {
+ public:
+  const char* name() const override { return "embedded-code-blob"; }
+  Severity severity() const override { return Severity::kWarn; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    for (const DeadRegion& r : ctx.cfg.dead_regions) {
+      if (!code_shaped(r)) continue;
+      out.push_back(SaFinding{
+          name(), severity(), r.start, "",
+          strf("unreachable code-shaped region: %u insns (%u non-nop), "
+               "contains a terminator",
+               r.insns, r.non_nop)});
+    }
+  }
+};
+
+// --- stack-imbalance -------------------------------------------------------
+// Per function (the entry point plus every call target), compare push and
+// pop counts over the function's intraprocedural blocks. Pop-heavy bodies
+// are the stack-pivot / ROP-gadget shape: they consume return addresses
+// they never created.
+class StackImbalanceRule final : public Rule {
+ public:
+  const char* name() const override { return "stack-imbalance"; }
+  Severity severity() const override { return Severity::kWarn; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    std::set<u32> entries;
+    if (ctx.cfg.blocks.count(ctx.cfg.entry)) entries.insert(ctx.cfg.entry);
+    for (const auto& exp : ctx.img.exports) {
+      u32 va = ctx.img.base_va + exp.offset;
+      if (ctx.cfg.blocks.count(va)) entries.insert(va);
+    }
+    for (const auto& [start, blk] : ctx.cfg.blocks) {
+      (void)start;
+      for (const Edge& e : blk.succs) {
+        if (e.kind == EdgeKind::kCall) entries.insert(e.target);
+      }
+    }
+    for (u32 entry : entries) {
+      // Intraprocedural closure: follow fall/taken/indirect edges only.
+      std::set<u32> body;
+      std::vector<u32> stack{entry};
+      while (!stack.empty()) {
+        u32 va = stack.back();
+        stack.pop_back();
+        if (!body.insert(va).second) continue;
+        auto it = ctx.cfg.blocks.find(va);
+        if (it == ctx.cfg.blocks.end()) continue;
+        for (const Edge& e : it->second.succs) {
+          if (e.kind != EdgeKind::kCall) stack.push_back(e.target);
+        }
+      }
+      u32 pushes = 0, pops = 0;
+      for (u32 va : body) {
+        auto it = ctx.cfg.blocks.find(va);
+        if (it == ctx.cfg.blocks.end()) continue;
+        for (const vm::Instruction& insn : it->second.insns) {
+          if (insn.op == Opcode::kPush) ++pushes;
+          if (insn.op == Opcode::kPop) ++pops;
+        }
+      }
+      if (pops > pushes) {
+        out.push_back(SaFinding{
+            name(), severity(), entry, "",
+            strf("function at 0x%08x pops %u but pushes %u "
+                 "(stack-pivot shape)",
+                 entry, pops, pushes)});
+      }
+    }
+  }
+};
+
+// --- branch-out-of-image ---------------------------------------------------
+// A direct branch or call whose encoded target lies outside the image blob:
+// either a corrupt image or control flow into memory only an injection
+// would populate.
+class BranchOutOfImageRule final : public Rule {
+ public:
+  const char* name() const override { return "branch-out-of-image"; }
+  Severity severity() const override { return Severity::kWarn; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    for (u32 target : ctx.cfg.escaping_targets) {
+      out.push_back(SaFinding{
+          name(), severity(), target, "",
+          strf("direct control transfer targets 0x%08x, outside "
+               "[0x%08x, 0x%08x)",
+               target, ctx.cfg.base, ctx.cfg.base + ctx.cfg.size)});
+    }
+  }
+};
+
+// --- dead-code -------------------------------------------------------------
+// Unreachable decodable regions that do not qualify as embedded code blobs;
+// padding and data that happens to decode land here, so this stays info.
+class DeadCodeRule final : public Rule {
+ public:
+  const char* name() const override { return "dead-code"; }
+  Severity severity() const override { return Severity::kInfo; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    for (const DeadRegion& r : ctx.cfg.dead_regions) {
+      if (code_shaped(r)) continue;  // claimed by embedded-code-blob
+      if (r.insns < 4 || r.non_nop == 0) continue;
+      out.push_back(SaFinding{
+          name(), severity(), r.start, "",
+          strf("unreachable decodable region: %u insns (%u non-nop)",
+               r.insns, r.non_nop)});
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Rule>>& builtin_rules() {
+  static const std::vector<std::unique_ptr<Rule>>* rules = [] {
+    auto* v = new std::vector<std::unique_ptr<Rule>>();
+    v->push_back(std::make_unique<WriteIntoCodeRule>());
+    v->push_back(std::make_unique<StoreThenIndirectRule>());
+    v->push_back(std::make_unique<InjectionSyscallRule>());
+    v->push_back(std::make_unique<SyscallUnresolvedFlowRule>());
+    v->push_back(std::make_unique<EmbeddedCodeBlobRule>());
+    v->push_back(std::make_unique<StackImbalanceRule>());
+    v->push_back(std::make_unique<BranchOutOfImageRule>());
+    v->push_back(std::make_unique<DeadCodeRule>());
+    return v;
+  }();
+  return *rules;
+}
+
+std::vector<SaFinding> run_rules(const RuleContext& ctx) {
+  std::vector<SaFinding> out;
+  for (const auto& rule : builtin_rules()) {
+    rule->run(ctx, out);
+  }
+  return out;
+}
+
+}  // namespace faros::sa

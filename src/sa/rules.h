@@ -1,0 +1,71 @@
+// Lint-rule engine over the static analysis results: each Rule inspects
+// the CFG + dataflow facts of one image and emits findings shaped like the
+// dynamic engine's core::Finding (site va, disassembly, human detail) so an
+// analyst can read both reports side by side. Rules are stateless and
+// deterministic — same image, same findings, same order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sa/dataflow.h"
+
+namespace faros::sa {
+
+enum class Severity : u8 {
+  kInfo = 0,  // context for the analyst
+  kWarn,      // suspicious shape, common in injectors and JIT hosts alike
+  kAlert,     // injection-shaped: self-modification / control-flow escape
+};
+
+const char* severity_name(Severity s);
+
+/// Risk weight per severity (info 1, warn 3, alert 10). A program whose
+/// summed weight reaches the analyzer threshold is "static flagged".
+u32 severity_weight(Severity s);
+
+/// Static analogue of core::Finding.
+struct SaFinding {
+  std::string rule;
+  Severity severity = Severity::kInfo;
+  u32 va = 0;          // offending instruction / region start
+  std::string disasm;  // site disassembly (empty for region findings)
+  std::string detail;  // what the rule proved, with the numbers
+
+  bool operator==(const SaFinding&) const = default;
+};
+
+struct RuleContext {
+  const os::Image& img;
+  const Cfg& cfg;
+  const DataflowResult& df;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual Severity severity() const = 0;
+  /// Appends this rule's findings for one image, in ascending va order.
+  virtual void run(const RuleContext& ctx,
+                   std::vector<SaFinding>& out) const = 0;
+};
+
+/// The built-in registry, in stable registration order:
+///   smc-write-to-code         (alert) store into statically reached code
+///   store-then-indirect       (alert) computed stores + jump out of image
+///   injection-syscall         (alert) WriteVirtualMemory / SetEntryPoint /
+///                                     UnmapViewOfSection reachable
+///   syscall-unresolved-flow   (warn)  syscalls behind opaque control flow
+///   embedded-code-blob        (warn)  unreachable code-shaped region
+///   stack-imbalance           (warn)  pop-heavy function (pivot shape)
+///   branch-out-of-image       (warn)  direct branch leaves the image
+///   dead-code                 (info)  unreachable decodable region
+const std::vector<std::unique_ptr<Rule>>& builtin_rules();
+
+/// Runs every built-in rule over `ctx`; findings grouped by rule in
+/// registry order, ascending va within a rule.
+std::vector<SaFinding> run_rules(const RuleContext& ctx);
+
+}  // namespace faros::sa

@@ -121,7 +121,13 @@ void Assembler::call(const std::string& label) {
 void Assembler::callr(Reg r) { emit(Opcode::kCallr, 0, r, 0, 0); }
 void Assembler::ret() { emit(Opcode::kRet, 0, 0, 0, 0); }
 
-void Assembler::label(const std::string& name) { labels_[name] = size(); }
+void Assembler::label(const std::string& name) {
+  auto [it, inserted] = labels_.emplace(name, size());
+  (void)it;
+  if (!inserted) {
+    errors_.push_back("assembler: duplicate label '" + name + "'");
+  }
+}
 
 void Assembler::data(ByteSpan bytes) {
   out_.insert(out_.end(), bytes.begin(), bytes.end());
@@ -146,19 +152,32 @@ void Assembler::align(u32 n) {
 }
 
 Result<Bytes> Assembler::assemble(u32 base_va) const {
+  if (!errors_.empty()) return Err<Bytes>(errors_.front());
   Bytes result = out_;
   for (const Fixup& fix : fixups_) {
     auto it = labels_.find(fix.label);
     if (it == labels_.end()) {
       return Err<Bytes>("assembler: undefined label '" + fix.label + "'");
     }
-    u32 target = base_va + it->second;
+    // Resolve in 64-bit so overflow is detected instead of wrapped.
+    u64 target = static_cast<u64>(base_va) + it->second;
+    if (target > 0xffffffffull) {
+      return Err<Bytes>("assembler: label '" + fix.label +
+                        "' resolves outside the 32-bit address space");
+    }
     u32 imm = 0;
     switch (fix.kind) {
-      case FixKind::kAbs: imm = target; break;
-      case FixKind::kRelNext:
-        imm = target - (base_va + fix.insn_offset + kInsnSize);
+      case FixKind::kAbs: imm = static_cast<u32>(target); break;
+      case FixKind::kRelNext: {
+        i64 disp = static_cast<i64>(target) -
+                   (static_cast<i64>(base_va) + fix.insn_offset + kInsnSize);
+        if (disp < INT32_MIN || disp > INT32_MAX) {
+          return Err<Bytes>("assembler: relative fixup to label '" +
+                            fix.label + "' out of i32 range");
+        }
+        imm = static_cast<u32>(static_cast<i64>(disp));
         break;
+      }
     }
     u32 at = fix.insn_offset + 4;
     result[at] = static_cast<u8>(imm & 0xff);

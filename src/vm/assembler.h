@@ -73,6 +73,9 @@ class Assembler {
   void ret();
 
   // --- layout ---
+  /// Defines `name` at the current offset. Redefining a label is recorded
+  /// as a hard error (reported by assemble()); the first definition wins,
+  /// so earlier references stay stable while the error propagates.
   void label(const std::string& name);
   /// Emits raw bytes (data blobs). Call align(8) before code follows.
   void data(ByteSpan bytes);
@@ -84,6 +87,12 @@ class Assembler {
   u32 size() const { return static_cast<u32>(out_.size()); }
 
   /// Resolves all labels against `base_va` and returns the final bytes.
+  /// Fails hard — naming the offending label — on duplicate label
+  /// definitions, references to labels never defined, and fixups whose
+  /// resolved target (absolute) or displacement (relative) does not fit
+  /// in the 32-bit immediate. Silently emitting bad code here would turn
+  /// every downstream consumer (the loader, the static analyzer) into a
+  /// fuzzer of its own corpus.
   Result<Bytes> assemble(u32 base_va) const;
 
   /// Offset of a label within the assembled output.
@@ -104,6 +113,7 @@ class Assembler {
   Bytes out_;
   std::map<std::string, u32> labels_;
   std::vector<Fixup> fixups_;
+  std::vector<std::string> errors_;  // layout errors latched until assemble()
 };
 
 }  // namespace faros::vm

@@ -147,6 +147,35 @@ bool ends_block(Opcode op) {
   }
 }
 
+bool is_cond_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: return true;
+    default: return false;
+  }
+}
+
+bool is_direct_branch(Opcode op) {
+  return op == Opcode::kJmp || op == Opcode::kCall || is_cond_branch(op);
+}
+
+bool is_indirect_branch(Opcode op) {
+  return op == Opcode::kJr || op == Opcode::kCallr;
+}
+
+bool is_call(Opcode op) {
+  return op == Opcode::kCall || op == Opcode::kCallr;
+}
+
+std::optional<u32> direct_target(const Instruction& insn, u32 va) {
+  if (!is_direct_branch(insn.op)) return std::nullopt;
+  return va + kInsnSize + insn.imm;  // u32 wrap matches the interpreter
+}
+
 std::string disassemble(const Instruction& insn) {
   const char* op = opcode_name(insn.op);
   const char* rd = reg_name(insn.rd);

@@ -130,6 +130,22 @@ unsigned mem_access_size(Opcode op);
 /// syscall, halt, brk).
 bool ends_block(Opcode op);
 
+// Control-flow classification for static analysis (src/sa). The static CFG
+// builder must agree with the interpreter about what transfers control and
+// where, so these live beside the decoder rather than in the analyzer.
+
+/// beq/bne/blt/bge/bltu/bgeu — falls through when the condition fails.
+bool is_cond_branch(Opcode op);
+/// jmp/call and the conditional branches — target encoded in imm.
+bool is_direct_branch(Opcode op);
+/// jr/callr — target in a register, invisible to a linear decoder.
+bool is_indirect_branch(Opcode op);
+/// call/callr — pushes a return address into lr.
+bool is_call(Opcode op);
+/// Absolute target of a direct branch at virtual address `va` (targets are
+/// encoded relative to the *next* instruction). nullopt for non-direct ops.
+std::optional<u32> direct_target(const Instruction& insn, u32 va);
+
 /// Human-readable disassembly, e.g. "ld8 r1, [r2+16]".
 std::string disassemble(const Instruction& insn);
 

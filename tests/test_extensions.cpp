@@ -9,6 +9,9 @@
 //    evasion that FAROS (like all DIFT) cannot flag.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "attacks/guest_common.h"
 #include "attacks/scenarios.h"
 #include "core/engine.h"
@@ -248,6 +251,25 @@ TEST(EarlyWarning, TaintedCodeWritePolicyFiresAtStagingTime) {
   ASSERT_TRUE(jit_run.ok());
   EXPECT_TRUE(jit_run.value().flagged)
       << "expected the documented FP cost of the early-warning policy";
+}
+
+TEST(IsaNames, EveryValidOpcodeHasADistinctNonNullName) {
+  // Disassembly, the static analyzer's findings, and the lint JSONL all
+  // key on opcode_name(); a missing or duplicated mnemonic would silently
+  // corrupt every one of them.
+  std::set<std::string> seen;
+  u32 valid = 0;
+  for (u32 b = 0; b < 256; ++b) {
+    if (!vm::opcode_valid(static_cast<u8>(b))) continue;
+    ++valid;
+    const char* name = vm::opcode_name(static_cast<vm::Opcode>(b));
+    ASSERT_NE(name, nullptr) << "opcode 0x" << std::hex << b;
+    EXPECT_FALSE(std::string(name).empty()) << "opcode 0x" << std::hex << b;
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate mnemonic '" << name << "' at opcode 0x" << std::hex
+        << b;
+  }
+  EXPECT_GE(valid, 40u);  // the ISA defines 40+ opcodes; all must be named
 }
 
 }  // namespace

@@ -48,6 +48,31 @@ TEST(Assembler, UndefinedLabelFailsWithName) {
   EXPECT_NE(blob.error().message.find("missing"), std::string::npos);
 }
 
+TEST(Assembler, DuplicateLabelFailsHardNamingTheLabel) {
+  Assembler a;
+  a.label("twice");
+  a.nop();
+  a.label("twice");
+  a.jmp("twice");
+  auto blob = a.assemble(0);
+  ASSERT_FALSE(blob.ok());
+  EXPECT_NE(blob.error().message.find("duplicate"), std::string::npos);
+  EXPECT_NE(blob.error().message.find("twice"), std::string::npos);
+  // The first definition wins for anything still consulting the table.
+  auto off = a.label_offset("twice");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.value(), 0u);
+}
+
+TEST(Assembler, AbsoluteFixupPastAddressSpaceFailsWithName) {
+  Assembler a;
+  a.movi_label(Reg::R1, "far");
+  a.label("far");
+  auto blob = a.assemble(0xfffffff8);  // label lands past 2^32
+  ASSERT_FALSE(blob.ok());
+  EXPECT_NE(blob.error().message.find("far"), std::string::npos);
+}
+
 TEST(Assembler, LabelOffsetQuery) {
   Assembler a;
   a.nop();
