@@ -13,6 +13,10 @@
 //  * tainted copy  — a guest loop streaming loads/stores over a netflow-
 //                    tainted buffer: the per-byte propagation path proper.
 //
+// The _rules variants rerun the tainted regimes with a policy ruleset
+// binding every trigger (kDispatchRules below), isolating what the
+// declarative rule-dispatch layer costs over the built-in fast path.
+//
 // With FAROS_BENCH_JSON=<path> set, main() appends one JSONL record per
 // regime (fixed-work wall-clock runs, independent of google-benchmark's
 // timing machinery) — the format committed in BENCH_shadow.json.
@@ -21,6 +25,7 @@
 #include "attacks/guest_common.h"
 #include "bench_util.h"
 #include "core/engine.h"
+#include "core/rules.h"
 #include "os/machine.h"
 
 using namespace faros;
@@ -230,7 +235,24 @@ struct Regime {
   bool clean;
   bool copier;
   bool metrics = true;  // Options::collect_metrics for this run
+  const char* rules_json = nullptr;  // non-null: replace the built-in rules
 };
+
+/// A ruleset binding every trigger with predicates that evaluate but never
+/// match on these workloads: the _rules regimes measure pure dispatch +
+/// predicate cost (the worst case the declarative engine adds), with no
+/// finding ever recorded.
+constexpr const char* kDispatchRules = R"({"rules":[
+  {"id":"bench-load","trigger":"tainted-load",
+   "when":["target has-type:export-table","fetch process-count>=9"]},
+  {"id":"bench-store","trigger":"tainted-store",
+   "when":["value process-count>=9"]},
+  {"id":"bench-exec","trigger":"exec-page-write",
+   "when":["value distinct-netflows>=9"]},
+  {"id":"bench-fetch","trigger":"tainted-fetch",
+   "when":["fetch process-count>=9"]},
+  {"id":"bench-sys","trigger":"syscall-arg",
+   "when":["target has-type:netflow"]}]})";
 
 struct RegimeRun {
   double seconds = 0;
@@ -241,6 +263,15 @@ RegimeRun run_regime(const Regime& r, u64 insns) {
   os::Machine m;
   core::Options opts = r.clean ? clean_options() : core::Options{};
   opts.collect_metrics = r.metrics;
+  if (r.rules_json) {
+    auto rs = core::parse_ruleset_json(r.rules_json);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "FATAL: bench ruleset: %s\n",
+                   rs.error().message.c_str());
+      std::exit(1);
+    }
+    opts.rules = std::move(rs).take();
+  }
   core::FarosEngine engine(m.kernel(), opts);
   if (r.attach_engine) {
     m.attach_cpu_plugin(&engine);
@@ -279,6 +310,14 @@ void emit_json_summary() {
       {"interp_faros_clean_noobs", true, true, false, /*metrics=*/false},
       {"interp_faros_image_tainted_noobs", true, false, false,
        /*metrics=*/false},
+      // Rule-dispatch overhead: same workloads with all five triggers
+      // bound. image_tainted_rules pays one tainted-fetch dispatch per
+      // instruction; tainted_copy_rules adds a tainted-load + tainted-store
+      // dispatch per streamed access.
+      {"interp_faros_image_tainted_rules", true, false, false,
+       /*metrics=*/true, kDispatchRules},
+      {"interp_faros_tainted_copy_rules", true, false, true,
+       /*metrics=*/true, kDispatchRules},
   };
   for (const Regime& r : regimes) {
     RegimeRun run = run_regime(r, kInsns);

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "attacks/guest_common.h"
@@ -35,6 +36,24 @@ class C2Server : public os::EventSource {
   std::vector<Bytes> received_;
   u32 requests_seen_ = 0;
   u32 responses_sent_ = 0;
+};
+
+/// Several scripted endpoints polled as one event source. Multi-stage
+/// malware pulls different artefacts (payload, key, config) from different
+/// servers; each stage keeps its own endpoint, response queue and outbound
+/// cursor, so the exchanges stay independent inside one recording.
+class MultiC2 final : public os::EventSource {
+ public:
+  void add(std::unique_ptr<C2Server> server) {
+    servers_.push_back(std::move(server));
+  }
+
+  void poll(os::Machine& m) override {
+    for (auto& s : servers_) s->poll(m);
+  }
+
+ private:
+  std::vector<std::unique_ptr<C2Server>> servers_;
 };
 
 }  // namespace faros::attacks

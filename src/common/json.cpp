@@ -1,0 +1,269 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace faros {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Hand-rolled recursive-descent parser over a string_view. No exceptions:
+/// the first error latches and every production bails out early.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    JsonValue v;
+    if (!parse_value(v, 0)) return Err<JsonValue>(error_);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return Err<JsonValue>(at("trailing characters after JSON value"));
+    }
+    return v;
+  }
+
+ private:
+  std::string at(std::string_view what) {
+    return std::string(what) + " at byte " + std::to_string(pos_);
+  }
+
+  bool fail(std::string_view what) {
+    if (error_.empty()) error_ = at(what);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      out.items.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool hex4(u32& cp) {
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return fail("truncated \\u escape");
+      char c = text_[pos_++];
+      u32 nib = 0;
+      if (c >= '0' && c <= '9') {
+        nib = static_cast<u32>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nib = static_cast<u32>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nib = static_cast<u32>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+      cp = (cp << 4) | nib;
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& s, u32 cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xc0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xe0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      s += static_cast<char>(0xf0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      s += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          u32 cp = 0;
+          if (!hex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("lone high surrogate");
+            }
+            pos_ += 2;
+            u32 lo = 0;
+            if (!hex4(lo)) return false;
+            if (lo < 0xdc00 || lo > 0xdfff) return fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(num.c_str(), nullptr);
+    if (!std::isfinite(out.number)) return fail("number out of range");
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace faros

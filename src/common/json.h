@@ -1,15 +1,21 @@
-// Minimal flat-JSON emission. The farm's JSONL result stream and the bench
-// FAROS_BENCH_JSON mode both need deterministic, dependency-free JSON
-// output; this writer covers exactly that (flat objects, string/number/bool
-// fields, pre-rendered nested values via raw_field). Field order is the
-// call order, doubles print with %.6g — the same inputs always yield the
-// same bytes, which the farm's determinism tests rely on.
+// Minimal flat-JSON emission plus a small recursive-descent parser. The
+// farm's JSONL result stream and the bench FAROS_BENCH_JSON mode both need
+// deterministic, dependency-free JSON output; the writer covers exactly
+// that (flat objects, string/number/bool fields, pre-rendered nested values
+// via raw_field). Field order is the call order, doubles print with %.6g —
+// the same inputs always yield the same bytes, which the farm's determinism
+// tests rely on. The parser exists for the policy-file side (core/rules):
+// it builds a JsonValue tree, preserves object member order, and reports
+// errors with byte offsets instead of throwing.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/result.h"
 #include "common/types.h"
 
 namespace faros {
@@ -99,5 +105,46 @@ class JsonWriter {
   }
   std::string body_;
 };
+
+/// One node of a parsed JSON document. A plain tagged union kept simple on
+/// purpose: only the member matching `kind` is meaningful, objects keep
+/// their members in source order (duplicate keys: first one wins in get()).
+struct JsonValue {
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* get(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Number as an unsigned integer (negative / non-number -> 0).
+  u64 as_u64() const {
+    if (kind != Kind::kNumber || number < 0) return 0;
+    return static_cast<u64>(number);
+  }
+};
+
+/// Parses one complete JSON document (trailing garbage is an error).
+/// Supports the full value grammar; \uXXXX escapes decode to UTF-8 (lone
+/// surrogates are rejected). Nesting is capped to keep recursion bounded.
+Result<JsonValue> json_parse(std::string_view text);
 
 }  // namespace faros

@@ -27,18 +27,19 @@ FarosEngine::FarosEngine(const os::OsiQuery& osi, Options opts)
     file_write_src_bytes_ = {s, obs::Ctr::kFileWriteSrcBytes};
     image_map_src_bytes_ = {s, obs::Ctr::kImageMapSrcBytes};
     export_tag_bytes_ = {s, obs::Ctr::kExportTagBytes};
+    rule_engine_.bind_obs(s);
   }
-  if (opts_.policy_netflow_export) {
-    policies_.push_back(std::make_unique<NetflowExportConfluencePolicy>());
-  }
-  if (opts_.policy_cross_process_export) {
-    policies_.push_back(
-        std::make_unique<CrossProcessExportConfluencePolicy>());
-  }
+  // An explicit ruleset replaces the built-ins; otherwise the legacy
+  // policy_* toggles select them (the historical default behaviour).
+  rule_engine_.configure(opts_.rules.empty()
+                             ? builtin_rules(opts_.policy_netflow_export,
+                                             opts_.policy_cross_process_export,
+                                             opts_.policy_tainted_code_write)
+                             : opts_.rules);
 }
 
 void FarosEngine::add_policy(std::unique_ptr<FlagPolicy> policy) {
-  policies_.push_back(std::move(policy));
+  rule_engine_.add_native(std::move(policy));
 }
 
 u16 FarosEngine::process_tag_index(PAddr cr3) {
@@ -121,7 +122,16 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
       }
     }
   }
-  if (fetch != kEmptyProv) ++stats_.tainted_fetches;
+  if (fetch != kEmptyProv) {
+    ++stats_.tainted_fetches;
+    // Guarded by the empty-list check: the image-tainted regime reaches
+    // this every instruction, so an unbound trigger must stay one branch.
+    if (rule_engine_.has_rules(Trigger::kTaintedFetch)) {
+      RuleInputs in;
+      in.fetch = fetch;
+      run_trigger(Trigger::kTaintedFetch, ev, as, in);
+    }
+  }
 
   auto alu3 = [&]() {
     if ((insn.op == Opcode::kXor || insn.op == Opcode::kSub) &&
@@ -191,7 +201,17 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
       if (store_.contains_type(target_union, TagType::kExportTable)) {
         ++stats_.export_table_reads;
       }
-      check_policies(ev, as, fetch, target_union);
+      if (rule_engine_.has_rules(Trigger::kTaintedLoad)) {
+        RuleInputs in;
+        in.fetch = fetch;
+        in.target = target_union;
+        if (rule_engine_.needs_value(Trigger::kTaintedLoad)) {
+          // What the load moves into rd: the target bytes plus any address
+          // dependency. Computed only when a rule will look at it.
+          in.value = store_.merge(target_union, addr_u);
+        }
+        run_trigger(Trigger::kTaintedLoad, ev, as, in);
+      }
     }
   };
 
@@ -210,28 +230,44 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
     }
     if (addr_u != kEmptyProv || sr.reg_tainted(src_reg)) {
       tainted_store_.inc();
-    }
-    // Early-warning policy: network-derived bytes being written into an
-    // executable page (payload staging) — optional, see Options.
-    if (opts_.policy_tainted_code_write) {
-      ProvListId val = store_.merge(sr.reg_union(src_reg, store_), addr_u);
-      if (store_.contains_type(val, TagType::kNetflow) &&
-          (as.page_flags(ev.mem->va) & vm::kPteExec)) {
-        u64 site = (static_cast<u64>(ev.pc) << 8) | 0xff;
-        if (flagged_sites_.insert(site).second &&
-            findings_.size() < opts_.max_findings) {
-          Finding f;
-          f.policy = "tainted-code-write";
-          f.instr_index = ev.instr_index;
-          if (auto info = osi_.process_by_cr3(ev.cr3)) f.proc = *info;
-          f.insn_va = ev.pc;
-          f.insn_pa = ev.pc_pa;
-          f.disasm = vm::disassemble(ev.insn);
-          f.target_va = ev.mem->va;
-          f.fetch_prov = fetch;
-          f.target_prov = val;
-          f.whitelisted = opts_.whitelist.count(f.proc.name) != 0;
-          findings_.push_back(std::move(f));
+      // Store-side triggers. tainted-store sees every tainted write;
+      // exec-page-write is the staging-time site (the value being written
+      // lands in executable memory — the historical tainted-code-write
+      // check, now a built-in spec). Inputs are computed lazily: the value
+      // merge only when some rule is bound, the page-flag walk and the
+      // pre-write target union only when a bound rule will look at them.
+      const bool store_rules =
+          rule_engine_.has_rules(Trigger::kTaintedStore);
+      const bool exec_rules =
+          rule_engine_.has_rules(Trigger::kExecPageWrite);
+      if (store_rules || exec_rules) {
+        ProvListId val = store_.merge(sr.reg_union(src_reg, store_), addr_u);
+        bool page_exec = false;
+        if (exec_rules ||
+            rule_engine_.needs_page_flags(Trigger::kTaintedStore)) {
+          page_exec = (as.page_flags(ev.mem->va) & vm::kPteExec) != 0;
+        }
+        if (store_rules) {
+          RuleInputs in;
+          in.fetch = fetch;
+          in.value = val;
+          in.page_exec = page_exec;
+          for (u32 i = 0; i < size; ++i) {  // pre-write destination union
+            auto t = i == 0 ? std::optional<PAddr>(ev.mem->pa)
+                            : as.translate(ev.mem->va + i, AccessType::kRead,
+                                           false);
+            if (t) in.target = store_.merge(in.target, shadow_.get(*t));
+          }
+          run_trigger(Trigger::kTaintedStore, ev, as, in);
+        }
+        if (exec_rules && page_exec) {
+          RuleInputs in;
+          in.fetch = fetch;
+          // Historical reports put the written value in target_prov.
+          in.target = val;
+          in.value = val;
+          in.page_exec = true;
+          run_trigger(Trigger::kExecPageWrite, ev, as, in);
         }
       }
     }
@@ -307,6 +343,22 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
       break;
 
     case Opcode::kSyscall:
+      // syscall-arg trigger: the ABI passes arguments in r1..r4; a bound
+      // rule sees their combined provenance (e.g. tainted bytes handed to
+      // the kernel). Unbound (the default), the cost is one branch.
+      if (rule_engine_.has_rules(Trigger::kSyscallArg)) {
+        ProvListId args = sr.reg_union(vm::R1, store_);
+        args = store_.merge(args, sr.reg_union(vm::R2, store_));
+        args = store_.merge(args, sr.reg_union(vm::R3, store_));
+        args = store_.merge(args, sr.reg_union(vm::R4, store_));
+        if (args != kEmptyProv) {
+          RuleInputs in;
+          in.fetch = fetch;
+          in.target = args;
+          in.value = args;
+          run_trigger(Trigger::kSyscallArg, ev, as, in);
+        }
+      }
       sr.clear_reg(vm::R0);  // result produced by the (native) kernel
       break;
 
@@ -316,51 +368,57 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
   }
 }
 
-void FarosEngine::check_policies(const vm::InsnEvent& ev,
-                                 const vm::AddressSpace& as,
-                                 ProvListId fetch_prov,
-                                 ProvListId target_prov) {
-  for (size_t idx = 0; idx < policies_.size(); ++idx) {
-    ++stats_.policy_evals;
-    if (!policies_[idx]->matches(store_, fetch_prov, target_prov)) continue;
-    u64 site = (static_cast<u64>(ev.pc) << 8) | idx;
-    if (!flagged_sites_.insert(site).second) continue;
-    if (findings_.size() >= opts_.max_findings) continue;
+void FarosEngine::run_trigger(Trigger t, const vm::InsnEvent& ev,
+                              const vm::AddressSpace& as,
+                              const RuleInputs& in) {
+  stats_.policy_evals += rule_engine_.dispatch(t, store_, in, matched_);
+  for (u32 idx : matched_) record_finding(idx, ev, as, in);
+}
 
-    Finding f;
-    f.policy = policies_[idx]->name();
-    f.instr_index = ev.instr_index;
-    if (auto info = osi_.process_by_cr3(ev.cr3)) {
-      f.proc = *info;
-    } else {
-      f.proc.cr3 = ev.cr3;
-      f.proc.name = "<unknown>";
-    }
-    f.insn_va = ev.pc;
-    f.insn_pa = ev.pc_pa;
-    f.disasm = vm::disassemble(ev.insn);
-    f.target_va = ev.mem ? ev.mem->va : 0;
-    f.fetch_prov = fetch_prov;
-    f.target_prov = target_prov;
-    f.whitelisted = opts_.whitelist.count(f.proc.name) != 0;
-    // Snapshot the code around the flagged pc now: a transient payload may
-    // wipe itself before the analyst ever looks.
-    constexpr u32 kBefore = 4 * vm::kInsnSize;
-    constexpr u32 kAfter = 8 * vm::kInsnSize;
-    f.code_base = ev.pc >= kBefore ? ev.pc - kBefore : 0;
-    Bytes window(kBefore + kAfter);
-    if (as.copy_out(f.code_base, window, /*user=*/false).ok()) {
-      f.code_window = std::move(window);
-    } else {
-      // Window ran off the mapped region; fall back to just the insn.
-      Bytes small(vm::kInsnSize);
-      if (as.copy_out(ev.pc, small, /*user=*/false).ok()) {
-        f.code_base = ev.pc;
-        f.code_window = std::move(small);
-      }
-    }
-    findings_.push_back(std::move(f));
+void FarosEngine::record_finding(u32 rule_idx, const vm::InsnEvent& ev,
+                                 const vm::AddressSpace& as,
+                                 const RuleInputs& in) {
+  auto site = std::make_tuple(ev.cr3, ev.pc, rule_idx);
+  if (flagged_sites_.count(site) != 0) return;
+  // At the cap the site is deliberately NOT marked: the cap bounds what is
+  // recorded, never which sites are eligible.
+  if (findings_.size() >= opts_.max_findings) return;
+
+  Finding f;
+  f.policy = rule_engine_.rule_id(rule_idx);
+  f.instr_index = ev.instr_index;
+  if (auto info = osi_.process_by_cr3(ev.cr3)) {
+    f.proc = *info;
+  } else {
+    f.proc.cr3 = ev.cr3;
+    f.proc.name = "<unknown>";
   }
+  f.insn_va = ev.pc;
+  f.insn_pa = ev.pc_pa;
+  f.disasm = vm::disassemble(ev.insn);
+  f.target_va = ev.mem ? ev.mem->va : 0;
+  f.fetch_prov = in.fetch;
+  f.target_prov = in.target;
+  f.whitelisted = opts_.whitelist.count(f.proc.name) != 0;
+  f.warn_only = rule_engine_.rule_action(rule_idx) == RuleAction::kWarn;
+  // Snapshot the code around the flagged pc now: a transient payload may
+  // wipe itself before the analyst ever looks.
+  constexpr u32 kBefore = 4 * vm::kInsnSize;
+  constexpr u32 kAfter = 8 * vm::kInsnSize;
+  f.code_base = ev.pc >= kBefore ? ev.pc - kBefore : 0;
+  Bytes window(kBefore + kAfter);
+  if (as.copy_out(f.code_base, window, /*user=*/false).ok()) {
+    f.code_window = std::move(window);
+  } else {
+    // Window ran off the mapped region; fall back to just the insn.
+    Bytes small(vm::kInsnSize);
+    if (as.copy_out(ev.pc, small, /*user=*/false).ok()) {
+      f.code_base = ev.pc;
+      f.code_window = std::move(small);
+    }
+  }
+  findings_.push_back(std::move(f));
+  flagged_sites_.insert(site);
 }
 
 // ---------------------------------------------------------------------------
@@ -601,7 +659,7 @@ std::vector<Finding> FarosEngine::active_findings() const {
 
 bool FarosEngine::flagged() const {
   for (const Finding& f : findings_) {
-    if (!f.whitelisted) return true;
+    if (!f.whitelisted && !f.warn_only) return true;
   }
   return false;
 }

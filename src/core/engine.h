@@ -25,11 +25,13 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "core/policy.h"
 #include "core/report.h"
+#include "core/rules.h"
 #include "core/shadow.h"
 #include "introspection/monitor.h"
 #include "obs/obs.h"
@@ -51,7 +53,7 @@ struct Options {
   /// default, as in the paper; enabling demonstrates overtainting.
   bool propagate_address_deps = false;
 
-  /// Built-in policies.
+  /// Built-in policies (ignored when `rules` is non-empty).
   bool policy_netflow_export = true;
   bool policy_cross_process_export = true;
   /// Optional early-warning policy: flag when *netflow-tainted bytes are
@@ -60,6 +62,12 @@ struct Options {
   /// and would flag every JIT host (trading the 2% FP rate for earlier
   /// alerts); see bench_evasion / tests for the trade-off.
   bool policy_tainted_code_write = false;
+
+  /// Declarative ruleset (core/rules.h). Empty: the engine runs the
+  /// built-ins selected by the policy_* toggles above — bit-identical to
+  /// the historical hardcoded behaviour. Non-empty (e.g. parsed from a
+  /// --policies file): these specs *replace* the built-ins entirely.
+  std::vector<RuleSpec> rules;
 
   /// Analyst whitelist: findings in these processes are recorded but
   /// marked suppressed (the paper's JIT whitelisting).
@@ -127,8 +135,14 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   void on_frame_recycled(PAddr frame_base) override;
 
   // --- policies ---
+  /// Host-code escape hatch: evaluated at tainted-load, action=flag (the
+  /// pre-rules contract). Prefer Options::rules for anything the predicate
+  /// grammar can express.
   void add_policy(std::unique_ptr<FlagPolicy> policy);
-  size_t policy_count() const { return policies_.size(); }
+  size_t policy_count() const { return rule_engine_.rule_count(); }
+  /// The compiled ruleset (ids, per-rule eval/hit counts) — what the farm
+  /// serialises per job and --list-policies prints.
+  const RuleEngine& rule_engine() const { return rule_engine_; }
 
   // --- results ---
   const std::vector<Finding>& findings() const { return findings_; }
@@ -180,8 +194,13 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   ProvListId with_process(ProvListId id, PAddr cr3, bool even_if_untainted);
 
   void clear_xfer(const osi::GuestXfer& xfer);
-  void check_policies(const vm::InsnEvent& ev, const vm::AddressSpace& as,
-                      ProvListId fetch_prov, ProvListId target_prov);
+
+  /// Evaluates the rules bound to `t` and records a Finding per matched
+  /// flag/warn rule (deduped on (cr3, pc, rule), capped by max_findings).
+  void run_trigger(Trigger t, const vm::InsnEvent& ev,
+                   const vm::AddressSpace& as, const RuleInputs& in);
+  void record_finding(u32 rule_idx, const vm::InsnEvent& ev,
+                      const vm::AddressSpace& as, const RuleInputs& in);
 
   const os::OsiQuery& osi_;
   Options opts_;
@@ -213,9 +232,14 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   static constexpr u32 kFetchCacheMask = kFetchCacheSize - 1;
   std::vector<FetchCacheEntry> fetch_cache_ =
       std::vector<FetchCacheEntry>(kFetchCacheSize);
-  std::vector<std::unique_ptr<FlagPolicy>> policies_;
+  RuleEngine rule_engine_;
+  std::vector<u32> matched_;  // dispatch scratch (avoids per-site allocs)
   std::vector<Finding> findings_;
-  std::set<u64> flagged_sites_;  // (insn va, policy index) dedup
+  /// Finding dedup: one record per (cr3, insn va, rule index). CR3 is part
+  /// of the key so two processes flagging at the same VA (shared image
+  /// bases) each get their own finding. Inserted only when the finding is
+  /// actually recorded, so hitting max_findings never poisons a site.
+  std::set<std::tuple<PAddr, VAddr, u32>> flagged_sites_;
   EngineStats stats_;
 
   std::unique_ptr<obs::MetricSink> metrics_;  // null = metrics off

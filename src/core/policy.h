@@ -1,23 +1,16 @@
 // Security policies: the paper's "per security policy" answer to indirect
 // flows. Instead of propagating through every address/control dependency,
 // FAROS defines attack invariants as the *confluence* of tags of different
-// types on one memory location, checked when a tainted instruction performs
-// a load.
+// types on one memory location, checked at trigger points in the DIFT path.
 //
-// Built-ins:
-//  * netflow-export-confluence — the executing instruction's bytes carry a
-//    netflow tag and the load target carries the export-table tag: data
-//    from the network is being linked/loaded (the paper's hallmark of
-//    in-memory injection).
-//  * cross-process-export-confluence — the instruction's bytes carry tags
-//    of two or more distinct processes (it was written into this process by
-//    another) and the load target is the export table: covers process
-//    hollowing and code injection even without a network origin
-//    (Figure 10's case).
+// Since the declarative rule engine (core/rules.h) the invariants are data:
+// the built-ins — netflow-export-confluence, cross-process-export-
+// confluence, and the optional tainted-code-write early warning — are
+// RuleSpecs (see builtin_rules()), not classes. FlagPolicy remains as the
+// host-code escape hatch: a C++ predicate evaluated at tainted-load,
+// registered via FarosEngine::add_policy, for invariants the predicate
+// grammar cannot express.
 #pragma once
-
-#include <memory>
-#include <string>
 
 #include "core/provenance.h"
 
@@ -32,28 +25,6 @@ class FlagPolicy {
   virtual const char* name() const = 0;
   virtual bool matches(const ProvStore& store, ProvListId fetch_prov,
                        ProvListId target_prov) const = 0;
-};
-
-class NetflowExportConfluencePolicy final : public FlagPolicy {
- public:
-  const char* name() const override { return "netflow-export-confluence"; }
-  bool matches(const ProvStore& store, ProvListId fetch_prov,
-               ProvListId target_prov) const override {
-    return store.contains_type(target_prov, TagType::kExportTable) &&
-           store.contains_type(fetch_prov, TagType::kNetflow);
-  }
-};
-
-class CrossProcessExportConfluencePolicy final : public FlagPolicy {
- public:
-  const char* name() const override {
-    return "cross-process-export-confluence";
-  }
-  bool matches(const ProvStore& store, ProvListId fetch_prov,
-               ProvListId target_prov) const override {
-    return store.contains_type(target_prov, TagType::kExportTable) &&
-           store.process_count(fetch_prov) >= 2;
-  }
 };
 
 }  // namespace faros::core

@@ -45,6 +45,9 @@ ProvListId ProvStore::intern_unique(std::vector<ProvTag> tags,
     if (t.type() == TagType::kProcess && meta.process_count < 255) {
       ++meta.process_count;
     }
+    if (t.type() == TagType::kNetflow && meta.netflow_count < 255) {
+      ++meta.netflow_count;
+    }
   }
   lists_.push_back(std::move(tags));
   metas_.push_back(meta);
@@ -101,6 +104,12 @@ u32 ProvStore::process_count(ProvListId id) const {
   if (id == kEmptyProv) return 0;
   assert(id <= metas_.size());
   return metas_[id - 1].process_count;
+}
+
+u32 ProvStore::netflow_count(ProvListId id) const {
+  if (id == kEmptyProv) return 0;
+  assert(id <= metas_.size());
+  return metas_[id - 1].netflow_count;
 }
 
 bool ProvStore::contains(ProvListId id, ProvTag tag) const {

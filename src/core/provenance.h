@@ -143,6 +143,11 @@ class ProvStore {
   /// Number of *distinct* process tags in the list (saturates at 255).
   u32 process_count(ProvListId id) const;
 
+  /// Number of *distinct* netflow tags in the list (saturates at 255).
+  /// O(1) like process_count; the rule engine's distinct-netflows>=N
+  /// predicate (multi-stage C2 assembly) reads this on the flagging path.
+  u32 netflow_count(ProvListId id) const;
+
   bool contains(ProvListId id, ProvTag tag) const;
 
   /// Number of distinct lists interned so far (excluding empty).
@@ -169,6 +174,7 @@ class ProvStore {
   struct Meta {
     u8 type_mask = 0;       // bit (type-1) set when a tag of type present
     u8 process_count = 0;   // distinct process tags, saturating
+    u8 netflow_count = 0;   // distinct netflow tags, saturating
   };
 
   ProvListId append_slow(ProvListId id, ProvTag tag, u64 memo_key);

@@ -22,6 +22,9 @@ struct Finding {
   ProvListId fetch_prov = kEmptyProv;   // provenance of the insn bytes
   ProvListId target_prov = kEmptyProv;  // provenance of the read bytes
   bool whitelisted = false;  // suppressed by the analyst whitelist
+  /// Recorded by a warn-action rule: visible to the analyst (report,
+  /// active_findings) but does not flip the machine verdict (flagged()).
+  bool warn_only = false;
 
   /// Code window captured at flag time: the instruction bytes surrounding
   /// the flagged pc (so the analyst sees the injected code even if it is

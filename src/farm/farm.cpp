@@ -184,6 +184,12 @@ JobResult Farm::run_once(const JobSpec& spec) const {
                    r.policies.end());
   r.prov_lists = engine.store().size();
   r.tainted_bytes = engine.shadow().tainted_bytes();
+  const core::RuleEngine& re = engine.rule_engine();
+  r.rules.reserve(re.rule_count());
+  for (u32 i = 0; i < re.rule_count(); ++i) {
+    r.rules.push_back({re.rule_id(i), re.rule_stats(i).evals,
+                       re.rule_stats(i).hits});
+  }
   return r;
 }
 

@@ -62,6 +62,17 @@ struct JobResult {
   u32 retries = 0;               // transient-error retries consumed
   std::string error;             // message for kError
 
+  /// Per-rule evaluation/hit counts from the replay engine's RuleEngine,
+  /// in engine rule order (deterministic given the spec + ruleset, and
+  /// identical whether the rules came from the built-ins or a policy file
+  /// — the property the CI byte-diff pins).
+  struct RuleCount {
+    std::string id;
+    u64 evals = 0;
+    u64 hits = 0;
+  };
+  std::vector<RuleCount> rules;
+
   // --- static prefilter (FarmConfig::static_prefilter; deterministic) ---
   // Filled by the zero-execution sa::analyze pass over the job's extracted
   // images. The static verdict is an analyst oracle next to the dynamic

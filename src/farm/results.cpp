@@ -20,6 +20,20 @@ std::string policies_json(const std::vector<std::string>& policies) {
   return out;
 }
 
+std::string rules_json(const std::vector<JobResult::RuleCount>& rules) {
+  std::string out = "[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i) out += ',';
+    JsonWriter w;
+    w.field("id", rules[i].id)
+        .field("evals", rules[i].evals)
+        .field("hits", rules[i].hits);
+    out += w.str();
+  }
+  out += ']';
+  return out;
+}
+
 }  // namespace
 
 std::string job_jsonl(const JobResult& r) {
@@ -43,6 +57,11 @@ std::string job_jsonl(const JobResult& r) {
       .field("tainted_bytes", r.tainted_bytes)
       .field("retries", r.retries)
       .field("error", r.error);
+  // Per-rule eval/hit counts, in engine rule order. Only present when the
+  // replay ran (empty on error/timeout/cancel), and identical whether the
+  // ruleset came from the built-ins or an equivalent policy file — the
+  // CI default-vs-file byte-diff depends on that.
+  if (!r.rules.empty()) w.raw_field("rules", rules_json(r.rules));
   // Static-prefilter fields are appended only when the prefilter ran, so
   // streams from runs without --static-prefilter are byte-for-byte what
   // they were before the prefilter existed.

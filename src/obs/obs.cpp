@@ -35,6 +35,12 @@ const char* ctr_name(Ctr c) {
     case Ctr::kSaInsnsDecoded: return "sa_insns_decoded";
     case Ctr::kSaIndirectsResolved: return "sa_indirects_resolved";
     case Ctr::kSaRulesFired: return "sa_rules_fired";
+    case Ctr::kRuleEvalsTaintedLoad: return "rule_evals_tainted_load";
+    case Ctr::kRuleEvalsTaintedStore: return "rule_evals_tainted_store";
+    case Ctr::kRuleEvalsExecPageWrite: return "rule_evals_exec_page_write";
+    case Ctr::kRuleEvalsTaintedFetch: return "rule_evals_tainted_fetch";
+    case Ctr::kRuleEvalsSyscallArg: return "rule_evals_syscall_arg";
+    case Ctr::kRuleMatches: return "rule_matches";
     case Ctr::kCount: break;
   }
   return "?";

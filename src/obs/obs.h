@@ -91,6 +91,14 @@ enum class Ctr : u32 {
   kSaIndirectsResolved,   // kJr/kCallr sites resolved by the dataflow pass
   kSaRulesFired,          // lint findings emitted
 
+  // --- rule engine (src/core/rules.h), one eval counter per trigger ---
+  kRuleEvalsTaintedLoad,    // rule evaluations at tainted-load sites
+  kRuleEvalsTaintedStore,   // ... at tainted-store sites
+  kRuleEvalsExecPageWrite,  // ... at exec-page-write sites
+  kRuleEvalsTaintedFetch,   // ... at tainted-fetch sites
+  kRuleEvalsSyscallArg,     // ... at syscall-arg sites
+  kRuleMatches,             // rules whose predicate conjunction held
+
   kCount,
 };
 

@@ -557,5 +557,135 @@ TEST_F(EngineTest, RandomDirectFlowProgramsMatchBooleanReference) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Finding bookkeeping: dedup key, max_findings cap, whitelist interaction.
+// These drive on_insn_retired() directly with synthesized events so the
+// same tainted load site can be replayed under different (cr3, pc, rule)
+// combinations.
+
+class FindingTest : public EngineTest {
+ protected:
+  /// Spawns a suspended helper whose image supplies a mapped code page and
+  /// a tainted "src" buffer, and remembers what a synthesized load of that
+  /// buffer needs: the address space, physical addresses, and real cr3.
+  void arm(Options opts, const std::string& name = "victim.exe") {
+    init(opts);
+    pid_ = spawn_suspended(name, [](ImageBuilder& ib) {
+      auto& a = ib.asm_();
+      a.label("_start");
+      end_spin(a);
+      scaffold_data(a);
+    });
+    proc_ = machine_->kernel().find(pid_);
+    ASSERT_NE(proc_, nullptr);
+    taint_packet(*proc_, src_, 4);
+    src_pa_ = proc_->as.translate(src_, vm::AccessType::kRead, true).value();
+  }
+
+  /// A retired `ld32 r2, [r1+0]` of the tainted buffer at `pc` under `cr3`.
+  void retire_tainted_load(PAddr cr3, VAddr pc) {
+    vm::InsnEvent ev;
+    ev.instr_index = ++instr_index_;
+    ev.cr3 = cr3;
+    ev.pc = pc;
+    ev.pc_pa = proc_->as.translate(pc, vm::AccessType::kExec, true).value();
+    ev.insn.op = vm::Opcode::kLd32;
+    ev.insn.rd = 2;
+    ev.insn.rs1 = 1;
+    ev.mem = vm::MemAccess{src_, src_pa_, 4, false};
+    engine_->on_insn_retired(ev, proc_->as);
+  }
+
+  static RuleSpec always_rule(const char* id) {
+    RuleSpec r;  // empty conjunction: matches every tainted load
+    r.id = id;
+    r.trigger = Trigger::kTaintedLoad;
+    return r;
+  }
+
+  os::Pid pid_ = 0;
+  os::Process* proc_ = nullptr;
+  PAddr src_pa_ = 0;
+  u64 instr_index_ = 0;
+};
+
+TEST_F(FindingTest, DedupKeyDistinguishesProcessAndRule) {
+  Options opts = quiet_options();
+  opts.rules = {always_rule("rule-a"), always_rule("rule-b")};
+  arm(opts);
+  const VAddr pc = kUserImageBase;
+  const PAddr cr3 = proc_->as.cr3();
+
+  // One site, two matching rules: a finding per rule, not per pc.
+  retire_tainted_load(cr3, pc);
+  EXPECT_EQ(engine_->findings().size(), 2u);
+
+  // Same pc from a different address space must not collapse into the
+  // first process's findings (the old `(pc<<8)|rule` key did exactly
+  // that: cr3 was not part of the key).
+  retire_tainted_load(cr3 + 0x1000, pc);
+  EXPECT_EQ(engine_->findings().size(), 4u);
+
+  // Exact repeats stay deduped.
+  retire_tainted_load(cr3, pc);
+  retire_tainted_load(cr3 + 0x1000, pc);
+  EXPECT_EQ(engine_->findings().size(), 4u);
+}
+
+TEST_F(FindingTest, MaxFindingsCapsRecordingNotEvaluation) {
+  Options opts = quiet_options();
+  opts.rules = {always_rule("cap-rule")};
+  opts.max_findings = 2;
+  arm(opts);
+  const PAddr cr3 = proc_->as.cr3();
+  for (u32 k = 0; k < 4; ++k) {
+    retire_tainted_load(cr3, kUserImageBase + k * vm::kInsnSize);
+  }
+  EXPECT_EQ(engine_->findings().size(), 2u);
+  EXPECT_TRUE(engine_->flagged());
+  // Rules keep evaluating (and hitting) past the cap; only recording stops.
+  EXPECT_EQ(engine_->rule_engine().rule_stats(0).hits, 4u);
+  // The cap never consumed dedup-set slots for unrecorded findings, so
+  // nothing was "remembered as seen" without being recorded.
+  retire_tainted_load(cr3, kUserImageBase + 3 * vm::kInsnSize);
+  EXPECT_EQ(engine_->findings().size(), 2u);
+}
+
+TEST_F(FindingTest, WhitelistMissKeepsFindingActive) {
+  Options opts = quiet_options();
+  opts.rules = {always_rule("strict")};
+  opts.whitelist.insert("innocent.exe");  // does not match victim.exe
+  arm(opts);
+  retire_tainted_load(proc_->as.cr3(), kUserImageBase);
+  ASSERT_EQ(engine_->findings().size(), 1u);
+  const Finding& f = engine_->findings()[0];
+  EXPECT_EQ(f.proc.name, "victim.exe");
+  EXPECT_FALSE(f.whitelisted);
+  EXPECT_TRUE(engine_->flagged());
+  EXPECT_EQ(engine_->active_findings().size(), 1u);
+}
+
+TEST_F(FindingTest, UnknownProcessFindingsCarrySentinelName) {
+  Options opts = quiet_options();
+  opts.rules = {always_rule("strict")};
+  arm(opts);
+  retire_tainted_load(proc_->as.cr3() + 0x1000, kUserImageBase);
+  ASSERT_EQ(engine_->findings().size(), 1u);
+  EXPECT_EQ(engine_->findings()[0].proc.name, "<unknown>");
+  EXPECT_FALSE(engine_->findings()[0].whitelisted);
+  EXPECT_TRUE(engine_->flagged());
+}
+
+TEST_F(FindingTest, UnknownProcessCanBeWhitelistedBySentinel) {
+  Options opts = quiet_options();
+  opts.rules = {always_rule("strict")};
+  opts.whitelist.insert("<unknown>");
+  arm(opts);
+  retire_tainted_load(proc_->as.cr3() + 0x1000, kUserImageBase);
+  ASSERT_EQ(engine_->findings().size(), 1u);
+  EXPECT_TRUE(engine_->findings()[0].whitelisted);
+  EXPECT_FALSE(engine_->flagged());
+}
+
 }  // namespace
 }  // namespace faros::core

@@ -9,6 +9,8 @@
 //   faros_triage --category injection --out results.jsonl
 //   faros_triage --metrics metrics.jsonl # obs counter stream per job
 //   faros_triage --list                  # print the catalogue and exit
+//   faros_triage --policies my.json      # replace the built-in ruleset
+//   faros_triage --list-policies         # print the effective ruleset JSON
 //
 // FAROS_METRICS_JSON=<path> in the environment is a fallback for --metrics
 // (mirroring FAROS_BENCH_JSON for the benches); the flag wins when both
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "attacks/corpus.h"
+#include "core/rules.h"
 #include "farm/farm.h"
 #include "farm/results.h"
 
@@ -48,6 +51,10 @@ void usage() {
                "                   run the zero-execution static analyzer\n"
                "                   (src/sa) per job before record/replay and\n"
                "                   score it next to the dynamic verdicts\n"
+               "  --policies PATH  load the confluence ruleset from a JSON\n"
+               "                   policy file (replaces the built-ins)\n"
+               "  --list-policies  print the effective ruleset as policy-file\n"
+               "                   JSON and exit\n"
                "  --list           print the job catalogue and exit\n"
                "  --quiet          no per-job console lines\n");
 }
@@ -64,9 +71,9 @@ bool parse_u64(const char* s, u64* out) {
 
 int main(int argc, char** argv) {
   farm::FarmConfig cfg;
-  std::string filter, category, out_path, metrics_path;
+  std::string filter, category, out_path, metrics_path, policies_path;
   u64 max_jobs = 0, budget = 0, workers = 0;
-  bool list_only = false, quiet = false;
+  bool list_only = false, list_policies = false, quiet = false;
   if (const char* env = std::getenv("FAROS_METRICS_JSON")) metrics_path = env;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,7 +93,9 @@ int main(int argc, char** argv) {
     else if (arg == "--category" && i + 1 < argc) category = argv[++i];
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
+    else if (arg == "--policies" && i + 1 < argc) policies_path = argv[++i];
     else if (arg == "--static-prefilter") cfg.static_prefilter = true;
+    else if (arg == "--list-policies") list_policies = true;
     else if (arg == "--list") list_only = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help" || arg == "-h") { usage(); return 0; }
@@ -97,6 +106,42 @@ int main(int argc, char** argv) {
     }
   }
   cfg.workers = static_cast<u32>(workers);
+
+  if (!policies_path.empty()) {
+    FILE* pf = std::fopen(policies_path.c_str(), "rb");
+    if (!pf) {
+      std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
+                   policies_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pf)) > 0) text.append(buf, n);
+    std::fclose(pf);
+    auto rules = core::parse_ruleset_json(text);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "faros_triage: %s: %s\n", policies_path.c_str(),
+                   rules.error().message.c_str());
+      return 1;
+    }
+    cfg.engine_opts.rules = std::move(rules).take();
+  }
+
+  if (list_policies) {
+    // Print the ruleset the engine would actually run — the policy file if
+    // one was loaded, otherwise the built-ins selected by the (default)
+    // engine option toggles — in policy-file JSON, so the output can be
+    // saved and fed back through --policies unchanged.
+    std::vector<core::RuleSpec> specs = cfg.engine_opts.rules;
+    if (specs.empty()) {
+      specs = core::builtin_rules(cfg.engine_opts.policy_netflow_export,
+                                  cfg.engine_opts.policy_cross_process_export,
+                                  cfg.engine_opts.policy_tainted_code_write);
+    }
+    std::printf("%s\n", core::ruleset_json(specs).c_str());
+    return 0;
+  }
 
   std::vector<farm::JobSpec> jobs;
   for (auto& e : attacks::full_corpus()) {
