@@ -3,8 +3,8 @@
 function(faros_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    faros_farm faros_sa faros_attacks faros_baselines faros_core faros_os
-    faros_vm faros_common)
+    faros_farm faros_graph faros_sa faros_attacks faros_baselines faros_core
+    faros_os faros_vm faros_common)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -29,3 +29,4 @@ set_target_properties(bench_micro_dift PROPERTIES
 faros_bench(bench_evasion)
 faros_bench(bench_farm_throughput)
 faros_bench(bench_sa_analyze)
+faros_bench(bench_graph_export)

@@ -42,6 +42,16 @@ std::vector<CorpusEntry> injection_corpus() {
       entry<DropperChainScenario>("dropper_chain", "injection", true));
   out.push_back(entry<IpcRelayScenario>("ipc_relay", "injection", true));
   out.push_back(entry<AtomBombingScenario>("atom_bombing", "injection", true));
+  out.push_back(
+      entry<ThreadHijackScenario>("thread_hijack", "injection", true));
+  out.push_back(
+      entry<InjectionRelayScenario>("injection_relay", "injection", true));
+  return out;
+}
+
+std::vector<CorpusEntry> policy_corpus() {
+  std::vector<CorpusEntry> out;
+  out.push_back(entry<MultiStageC2Scenario>("multi_stage_c2", "policy", true));
   return out;
 }
 

@@ -3,9 +3,9 @@
 // a worker pool. Each entry carries the ground-truth verdict (is FAROS
 // expected to flag it?) so triage output can be scored TP/FP/TN/FN against
 // the paper's tables:
-//  * injection  — the six Section-VI samples plus the three extension
-//                 attacks (dropper chain, IPC relay, atom bombing); all
-//                 expected flagged.
+//  * injection  — the six Section-VI samples plus the five extension
+//                 attacks (dropper chain, IPC relay, atom bombing, thread
+//                 hijack, injection relay); all expected flagged.
 //  * jit        — the 20 Table III workloads; the two runtime-linking
 //                 applets are the paper's known false positives.
 //  * malware    — the 90-sample non-injecting Table IV battery; clean.
@@ -28,8 +28,15 @@ struct CorpusEntry {
   std::function<std::unique_ptr<Scenario>()> make;
 };
 
-/// The nine in-memory injection attacks (paper's six + extensions).
+/// The eleven in-memory injection attacks (paper's six + extensions,
+/// including the thread-hijack and A->B->C relay slice scenarios).
 std::vector<CorpusEntry> injection_corpus();
+
+/// Scenarios whose ground truth depends on a loaded policy ruleset (the
+/// built-in rules stay silent on them). Category "policy"; NOT part of
+/// full_corpus() — faros_triage adds them only when a ruleset is loaded
+/// or the category is requested explicitly.
+std::vector<CorpusEntry> policy_corpus();
 
 /// The 20 Table III JIT workloads (2 expected FPs: the linking applets).
 std::vector<CorpusEntry> jit_corpus();

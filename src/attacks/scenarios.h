@@ -194,6 +194,36 @@ class MultiStageC2Scenario final : public Scenario {
   u64 budget() const override { return 400'000; }
 };
 
+/// Thread-hijack-style injection (multi-hop slice scenario): the hijacker
+/// downloads a payload, *suspends a running victim*, carves an RWX region,
+/// writes the payload across the process boundary, redirects the thread
+/// context (entry point) and resumes — the SetThreadContext flavour of
+/// injection, no new thread, no process spawn. Ground-truth backward slice
+/// from the finding: NetFlow -> hijacker.exe -> victim RWX region.
+class ThreadHijackScenario final : public Scenario {
+ public:
+  std::string name() const override { return "thread_hijack"; }
+  Result<void> setup(os::Machine& m) override;
+  std::unique_ptr<os::EventSource> make_source() override;
+  u64 budget() const override { return 400'000; }
+};
+
+/// A -> B -> C injection relay (multi-hop slice scenario): stage0.exe
+/// downloads a combined [stub][payload] blob and thread-hijacks it into
+/// relay.exe; the position-independent stub then re-injects the embedded
+/// payload into conhost.exe the same way and exits. Only the final victim
+/// walks export tables, so only C flags — but the payload's provenance
+/// carries the netflow plus both intermediary processes, which is exactly
+/// what a backward slice must surface:
+///   NetFlow -> stage0.exe -> relay.exe -> conhost.exe RWX region.
+class InjectionRelayScenario final : public Scenario {
+ public:
+  std::string name() const override { return "injection_relay"; }
+  Result<void> setup(os::Machine& m) override;
+  std::unique_ptr<os::EventSource> make_source() override;
+  u64 budget() const override { return 400'000; }
+};
+
 // ---------------------------------------------------------------------------
 // Non-injecting workloads (Tables III and IV).
 

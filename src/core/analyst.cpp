@@ -38,6 +38,7 @@ std::vector<TaintedRegion> tainted_regions(const FarosEngine& engine,
 
 std::string taint_map(const FarosEngine& engine, os::Kernel& kernel) {
   std::string out;
+  u32 region_node = 0;  // graph::build_graph's region walk is identical
   for (const auto& info : kernel.process_list()) {
     const os::Process* p = kernel.find(info.pid);
     if (!p || !p->alive()) continue;
@@ -46,7 +47,8 @@ std::string taint_map(const FarosEngine& engine, os::Kernel& kernel) {
       auto ranges = tainted_regions(engine, p->as, region.base,
                                     region.base + region.len);
       for (const auto& r : ranges) {
-        out += strf("  %s +%-6u [%s]  %s\n", hex32(r.start).c_str(), r.len,
+        out += strf("  region:%-4u %s +%-6u [%s]  %s\n", region_node++,
+                    hex32(r.start).c_str(), r.len,
                     os::region_kind_name(region.kind),
                     render_chain(engine.store(), engine.maps(), r.prov)
                         .c_str());
@@ -59,6 +61,10 @@ std::string taint_map(const FarosEngine& engine, os::Kernel& kernel) {
 FindingSummary summarize_findings(const std::vector<Finding>& findings) {
   FindingSummary s;
   for (const Finding& f : findings) {
+    // The graph's finding node index is the position in the findings
+    // vector, so the ref label and the slice query address coincide.
+    s.refs.push_back(strf("finding:%u %s in %s", s.total, f.policy.c_str(),
+                          f.proc.name.c_str()));
     ++s.total;
     if (f.whitelisted) ++s.whitelisted;
     ++s.by_policy[f.policy];
@@ -75,6 +81,9 @@ std::string render_summary(const FindingSummary& s) {
   }
   for (const auto& [proc, n] : s.by_process) {
     out += strf("  in process %-30s %u\n", proc.c_str(), n);
+  }
+  for (const auto& ref : s.refs) {
+    out += strf("  %s\n", ref.c_str());
   }
   return out;
 }

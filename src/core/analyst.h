@@ -28,7 +28,11 @@ std::vector<TaintedRegion> tainted_regions(const FarosEngine& engine,
                                            size_t max_regions = 256);
 
 /// Full per-process taint map over every live process' known regions:
-/// one line per tainted range, with the rendered provenance chain.
+/// one line per tainted range, with the rendered provenance chain. Each
+/// range is labelled "region:<k>" where k counts ranges in walk order —
+/// the same order graph::build_graph materializes region nodes, so the
+/// label is that range's node reference in the exported provenance graph
+/// (one id namespace across text and graph artifacts).
 std::string taint_map(const FarosEngine& engine, os::Kernel& kernel);
 
 struct FindingSummary {
@@ -36,6 +40,10 @@ struct FindingSummary {
   std::map<std::string, u32> by_process;
   u32 total = 0;
   u32 whitelisted = 0;
+  /// One "finding:<i> <policy> in <process>" line per finding, in findings
+  /// order — i is the finding's node index in the exported graph, so text
+  /// summaries cross-link to `faros_slice backward --from finding:<i>`.
+  std::vector<std::string> refs;
 };
 
 FindingSummary summarize_findings(const std::vector<Finding>& findings);

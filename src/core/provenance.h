@@ -153,6 +153,17 @@ class ProvStore {
   /// Number of distinct lists interned so far (excluding empty).
   size_t size() const { return lists_.size(); }
 
+  /// Walks every interned list in id order (1..size()), calling
+  /// `fn(ProvListId, const std::vector<ProvTag>&)`. The graph exporter
+  /// (src/graph) materializes the store through this; iteration order is
+  /// intern order, so walks are deterministic.
+  template <typename Fn>
+  void for_each_list(Fn&& fn) const {
+    for (ProvListId id = 1; id <= lists_.size(); ++id) {
+      fn(id, lists_[id - 1]);
+    }
+  }
+
   u32 cap() const { return cap_; }
   u32 max_lists() const { return max_lists_; }
 

@@ -20,6 +20,12 @@
 //  * "<subject> distinct-netflows>=N"
 //  * "page-flag:exec"
 //
+// Threshold caveat: the per-list distinct-process and distinct-netflow
+// counts come from ProvStore metadata that saturates at 255
+// (ProvStore::process_count / netflow_count). A rule with N > 255 can
+// therefore never fire, and exactly-255 cannot be distinguished from
+// more-than-255; keep thresholds at 255 or below (pinned by test).
+//
 // Actions: flag (normal finding), warn (recorded, never flips the
 // verdict), suppress (a matching suppress rule cancels every flag/warn
 // match of the same trigger evaluation — an analyst-authored,

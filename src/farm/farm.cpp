@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 
+#include "graph/graph.h"
 #include "sa/analyzer.h"
 
 namespace faros::farm {
@@ -48,6 +51,18 @@ class Watchdog final : public os::RunGovernor {
   bool has_deadline_;
   Reason reason_ = Reason::kNone;
 };
+
+/// Filesystem-safe artifact name: job names can carry '/' and other
+/// separators; anything outside [A-Za-z0-9._-] becomes '_'.
+std::string sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
 
 double percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
@@ -189,6 +204,25 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   for (u32 i = 0; i < re.rule_count(); ++i) {
     r.rules.push_back({re.rule_id(i), re.rule_stats(i).evals,
                        re.rule_stats(i).hits});
+  }
+
+  // --- provenance graph export (engine + replay kernel still alive) ---
+  if (!cfg_.graph_out.empty()) {
+    graph::ProvGraph pg = graph::build_graph(engine, rep.kernel());
+    Bytes blob = graph::serialize(pg);
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.graph_out, ec);
+    std::string path =
+        cfg_.graph_out + "/" + sanitize_name(spec.name) + ".fpg";
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return fail("graph write: cannot open " + path);
+    size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+    if (written != blob.size()) return fail("graph write: short write " + path);
+    r.graph_built = true;
+    r.graph_nodes = static_cast<u32>(pg.nodes.size());
+    r.graph_edges = static_cast<u32>(pg.edges.size());
+    r.graph_bytes = blob.size();
   }
   return r;
 }

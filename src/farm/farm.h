@@ -44,6 +44,13 @@ struct FarmConfig {
   /// the static risk score / rule hits. Purely additive: dynamic verdicts
   /// are untouched.
   bool static_prefilter = false;
+  /// When non-empty: write one provenance-graph artifact per completed job
+  /// to `<graph_out>/<job name>.fpg` (src/graph binary format; job names
+  /// are sanitized to filesystem-safe characters). The graph is built from
+  /// the replay engine + kernel at snapshot time and is a pure function of
+  /// the JobSpec — byte-identical for any worker count. The directory is
+  /// created on demand.
+  std::string graph_out;
   /// Engine options applied to every job's replay.
   core::Options engine_opts;
   /// Per-machine config for record and replay.

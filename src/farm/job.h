@@ -86,6 +86,15 @@ struct JobResult {
   std::vector<std::string> sa_rules;  // sorted unique rule names that fired
   std::string sa_error;         // extraction failure (job still runs)
 
+  // --- provenance graph export (FarmConfig::graph_out; deterministic) ---
+  // Stamped when the farm wrote this job's .fpg graph artifact. The graph
+  // is a pure function of the spec, so nodes/edges/bytes are too — they
+  // ride in the deterministic JSONL next to prov_lists/tainted_bytes.
+  bool graph_built = false;
+  u32 graph_nodes = 0;
+  u32 graph_edges = 0;
+  u64 graph_bytes = 0;  // serialized .fpg size
+
   // --- observability (counters deterministic; timers wall-clock) ---
   // Engine counter snapshot for the replay (collected=false when the
   // engine ran without metrics or the job never reached the replay).

@@ -62,6 +62,13 @@ std::string job_jsonl(const JobResult& r) {
   // ruleset came from the built-ins or an equivalent policy file — the
   // CI default-vs-file byte-diff depends on that.
   if (!r.rules.empty()) w.raw_field("rules", rules_json(r.rules));
+  // Graph-export fields are appended only when FarmConfig::graph_out was
+  // set, so streams from runs without it stay byte-for-byte unchanged.
+  if (r.graph_built) {
+    w.field("graph_nodes", r.graph_nodes)
+        .field("graph_edges", r.graph_edges)
+        .field("graph_bytes", r.graph_bytes);
+  }
   // Static-prefilter fields are appended only when the prefilter ran, so
   // streams from runs without --static-prefilter are byte-for-byte what
   // they were before the prefilter existed.

@@ -1,0 +1,117 @@
+// Provenance graph export (the analyst-facing layer the TC engagement
+// analyses work with): materializes the engine's interned ProvStore lists
+// plus the kernel state at snapshot time into a typed, queryable graph.
+//
+// Node types: netflow, process, file, module, memory region, finding.
+// Edge types (stored orientation / data-flow direction):
+//  * derived-from  region|finding -> netflow|file|module   (flow dst->src)
+//  * wrote-into    process -> region|finding               (flow src->dst)
+//  * fetched-by    finding -> process                      (flow src->dst)
+//  * spawned       parent process -> child process         (flow src->dst)
+//  * flagged       finding -> region holding the flagged pc (flow dst->src)
+//
+// Determinism: node order is type-major with a per-type order fixed by the
+// engine's intern order (tag maps), the kernel's pid-sorted process list,
+// the module load order, the taint_map region walk, and the findings
+// vector; edges are deduplicated on (type, src, dst) keeping the smallest
+// chain position and sorted. A job's graph is therefore a pure function of
+// its JobSpec — the farm writes byte-identical .fpg files at any worker
+// count, which CI pins.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytesio.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "os/kernel.h"
+
+namespace faros::graph {
+
+enum class NodeType : u8 {
+  kNetflow = 0,
+  kProcess = 1,
+  kFile = 2,
+  kModule = 3,
+  kRegion = 4,
+  kFinding = 5,
+};
+inline constexpr u32 kNodeTypeCount = 6;
+
+const char* node_type_name(NodeType t);
+
+/// One graph node. The canonical analyst-facing reference is "type:index"
+/// ("finding:0", "netflow:2") — the per-type index, not the global id —
+/// because per-type indices are stable under slicing and match the labels
+/// core::taint_map / render_summary embed in their text output.
+struct Node {
+  NodeType type = NodeType::kNetflow;
+  u32 index = 0;        // per-type ordinal
+  std::string name;     // short label ("stager.exe", policy id, ...)
+  std::string detail;   // human rendering (flow tuple, prov chain, ...)
+  // Type-specific payload:
+  //  netflow: a=(src_ip<<16)|src_port b=(dst_ip<<16)|dst_port c=#lists
+  //  process: a=pid b=cr3 c=parent pid
+  //  file:    a=file_id b=version c=#lists referencing the tag
+  //  module:  a=base b=size c=export_count
+  //  region:  a=start va b=(owner pid<<32)|len c=prov list id
+  //  finding: a=insn va b=instr_index c=(whitelisted<<1)|warn_only
+  u64 a = 0, b = 0, c = 0;
+};
+
+enum class EdgeType : u8 {
+  kDerivedFrom = 0,
+  kWroteInto = 1,
+  kFetchedBy = 2,
+  kSpawned = 3,
+  kFlagged = 4,
+};
+inline constexpr u32 kEdgeTypeCount = 5;
+
+const char* edge_type_name(EdgeType t);
+
+struct Edge {
+  EdgeType type = EdgeType::kDerivedFrom;
+  u32 src = 0;  // global node id
+  u32 dst = 0;  // global node id
+  u32 aux = 0;  // chain position for provenance-derived edges, else 0
+};
+
+/// True when data flows src->dst for this edge type (see the orientation
+/// table above). Backward slices traverse against flow, forward along it.
+bool edge_flows_forward(EdgeType t);
+
+struct ProvGraph {
+  std::vector<Node> nodes;  // type-major; global id = vector position
+  std::vector<Edge> edges;  // sorted by (type, src, dst)
+
+  size_t count(NodeType t) const;
+  /// Global id for "type:index", or nullopt when absent.
+  std::optional<u32> node_id(NodeType t, u32 index) const;
+  /// Canonical reference of a node: "finding:0".
+  std::string ref(u32 node_id) const;
+};
+
+/// Parses a "type:index" node reference ("finding:0", "netflow:2").
+Result<std::pair<NodeType, u32>> parse_node_ref(const std::string& ref);
+
+/// Builds the graph from an engine snapshot plus the kernel it observed.
+/// Call after the replay finished; both must outlive the call only.
+ProvGraph build_graph(const core::FarosEngine& engine,
+                      const os::Kernel& kernel);
+
+/// Compact versioned binary ("FPG1": string table + nodes + edges).
+/// serialize is deterministic; deserialize(serialize(g)) round-trips.
+Bytes serialize(const ProvGraph& g);
+Result<ProvGraph> deserialize(ByteSpan data);
+
+/// Graphviz rendering (clusters by node type).
+std::string render_dot(const ProvGraph& g);
+
+/// JSONL rendering: one {"type":"node",...} line per node, then one
+/// {"type":"edge",...} line per edge. Deterministic.
+std::string render_jsonl(const ProvGraph& g);
+
+}  // namespace faros::graph

@@ -1,0 +1,127 @@
+#include "graph/slice.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+
+namespace faros::graph {
+
+namespace {
+
+struct Neighbour {
+  u32 node;
+  EdgeType via;
+};
+
+/// Neighbours of `id` in traversal direction, ascending node id. Forward
+/// traversal follows data flow; backward runs against it.
+std::vector<Neighbour> neighbours(const ProvGraph& g, u32 id, bool forward) {
+  std::vector<Neighbour> out;
+  for (const Edge& e : g.edges) {
+    u32 flow_from = edge_flows_forward(e.type) ? e.src : e.dst;
+    u32 flow_to = edge_flows_forward(e.type) ? e.dst : e.src;
+    if (forward && flow_from == id) out.push_back({flow_to, e.type});
+    if (!forward && flow_to == id) out.push_back({flow_from, e.type});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbour& x, const Neighbour& y) {
+    return std::tie(x.node, x.via) < std::tie(y.node, y.via);
+  });
+  return out;
+}
+
+}  // namespace
+
+Slice slice(const ProvGraph& g, u32 root, const SliceOptions& opts) {
+  Slice s;
+  if (root >= g.nodes.size()) return s;
+
+  std::vector<bool> seen(g.nodes.size(), false);
+  seen[root] = true;
+  s.hops.push_back(SliceHop{root, 0, ~0u, EdgeType::kDerivedFrom});
+
+  // Layered BFS over the hops vector itself: frontier [lo, hi) is depth d.
+  size_t lo = 0, hi = 1;
+  for (u32 depth = 0; lo < hi; ++depth) {
+    if (depth >= opts.max_depth) {
+      // Anything still expandable past the cap counts as truncation.
+      for (size_t i = lo; i < hi && !s.truncated; ++i) {
+        for (const Neighbour& nb : neighbours(g, s.hops[i].node,
+                                              opts.forward)) {
+          if (!seen[nb.node]) s.truncated = true;
+        }
+      }
+      break;
+    }
+    for (size_t i = lo; i < hi; ++i) {
+      u32 expanded = 0;
+      for (const Neighbour& nb : neighbours(g, s.hops[i].node, opts.forward)) {
+        if (seen[nb.node]) continue;
+        if (expanded >= opts.max_fanout) {
+          s.truncated = true;
+          break;
+        }
+        seen[nb.node] = true;
+        ++expanded;
+        s.hops.push_back(
+            SliceHop{nb.node, depth + 1, s.hops[i].node, nb.via});
+      }
+    }
+    lo = hi;
+    hi = s.hops.size();
+  }
+
+  for (const SliceHop& h : s.hops) {
+    NodeType t = g.nodes[h.node].type;
+    if (t == NodeType::kNetflow || t == NodeType::kFile) {
+      s.sources.push_back(h.node);
+    }
+  }
+  std::sort(s.sources.begin(), s.sources.end());
+  return s;
+}
+
+std::string render_slice_jsonl(const ProvGraph& g, const Slice& s,
+                               const SliceOptions& opts) {
+  std::string out;
+  {
+    JsonWriter w;
+    w.field("type", "slice")
+        .field("direction", opts.forward ? "forward" : "backward")
+        .field("root", s.hops.empty() ? "?" : g.ref(s.hops.front().node))
+        .field("nodes", static_cast<u64>(s.hops.size()))
+        .field("truncated", s.truncated);
+    out += w.str();
+    out += '\n';
+  }
+  for (const SliceHop& h : s.hops) {
+    const Node& n = g.nodes[h.node];
+    JsonWriter w;
+    w.field("type", "hop")
+        .field("ref", g.ref(h.node))
+        .field("kind", node_type_name(n.type))
+        .field("name", n.name)
+        .field("depth", h.depth);
+    if (h.from != ~0u) {
+      w.field("via", edge_type_name(h.via)).field("from", g.ref(h.from));
+    }
+    out += w.str();
+    out += '\n';
+  }
+  {
+    std::string refs = "[";
+    for (size_t i = 0; i < s.sources.size(); ++i) {
+      if (i) refs += ',';
+      refs += '"';
+      refs += json_escape(g.ref(s.sources[i]));
+      refs += '"';
+    }
+    refs += ']';
+    JsonWriter w;
+    w.field("type", "sources").raw_field("refs", refs);
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace faros::graph

@@ -1,0 +1,43 @@
+// Slicing queries over a ProvGraph: backward from an artifact to its
+// origins (netflow/file sources), forward from a source to everything it
+// reached. BFS with depth and per-node fanout caps; hop order is layer by
+// layer with node ids ascending inside a layer, so slice output is
+// deterministic and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace faros::graph {
+
+struct SliceOptions {
+  u32 max_depth = 32;
+  u32 max_fanout = 64;   // neighbours expanded per node
+  bool forward = false;  // false = backward (against data flow)
+};
+
+struct SliceHop {
+  u32 node = 0;                           // global node id
+  u32 depth = 0;                          // 0 = the root itself
+  u32 from = ~0u;                         // predecessor id (~0 for root)
+  EdgeType via = EdgeType::kDerivedFrom;  // edge reached through (not root)
+};
+
+struct Slice {
+  std::vector<SliceHop> hops;  // BFS order; hops[0] is the root
+  std::vector<u32> sources;    // netflow/file node ids reached, ascending
+  bool truncated = false;      // a depth or fanout cap dropped neighbours
+};
+
+/// Slices from global node id `root`. An out-of-range root yields an empty
+/// slice (no hops).
+Slice slice(const ProvGraph& g, u32 root, const SliceOptions& opts);
+
+/// Stable JSONL: {"type":"slice",...} header, one {"type":"hop",...} line
+/// per hop, then {"type":"sources","refs":[...]}.
+std::string render_slice_jsonl(const ProvGraph& g, const Slice& s,
+                               const SliceOptions& opts);
+
+}  // namespace faros::graph

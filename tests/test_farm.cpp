@@ -121,14 +121,14 @@ TEST(JobQueue, CancelWakesBlockedPopperAndPreservesJobs) {
 TEST(Farm, InjectionCorpusAllFlaggedAndScored) {
   Farm f(FarmConfig{});
   auto report = f.run(corpus_jobs(attacks::injection_corpus()));
-  ASSERT_EQ(report.results.size(), 9u);
+  ASSERT_EQ(report.results.size(), 11u);
   for (const auto& r : report.results) {
     EXPECT_EQ(r.status, JobStatus::kOk) << r.name << ": " << r.error;
     EXPECT_TRUE(r.flagged) << r.name;
     EXPECT_STREQ(r.verdict(), "TP") << r.name;
     EXPECT_FALSE(r.policies.empty()) << r.name;
   }
-  EXPECT_EQ(report.metrics.flagged, 9u);
+  EXPECT_EQ(report.metrics.flagged, 11u);
   EXPECT_EQ(report.metrics.errors, 0u);
   EXPECT_LE(report.metrics.p50_ms, report.metrics.p95_ms);
 }

@@ -370,7 +370,7 @@ TEST(SaCorpus, EveryProgramExtractsAndEveryReachedInsnDecodes) {
     }
     ++programs;
   }
-  EXPECT_EQ(programs, 133u);
+  EXPECT_EQ(programs, 135u);
   EXPECT_GE(images, programs);
 }
 

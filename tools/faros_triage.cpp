@@ -1,6 +1,6 @@
 // faros_triage — corpus triage CLI over the farm.
 //
-// Fans the scenario corpus (9 injection attacks, 20 JIT workloads, the
+// Fans the scenario corpus (11 injection attacks, 20 JIT workloads, the
 // 104-sample Table IV battery) across a worker pool, streams one JSONL
 // record per job in stable job-id order, and prints a scored summary.
 //
@@ -11,6 +11,12 @@
 //   faros_triage --list                  # print the catalogue and exit
 //   faros_triage --policies my.json      # replace the built-in ruleset
 //   faros_triage --list-policies         # print the effective ruleset JSON
+//   faros_triage --graph-out graphs/     # one .fpg provenance graph per job
+//
+// Loading a policy file (or asking for --category policy) also enumerates
+// the policy corpus — scenarios like multi_stage_c2 whose ground truth
+// depends on the loaded ruleset, kept out of the default catalogue so the
+// built-in-rule scoring stays byte-stable.
 //
 // FAROS_METRICS_JSON=<path> in the environment is a fallback for --metrics
 // (mirroring FAROS_BENCH_JSON for the benches); the flag wins when both
@@ -40,7 +46,8 @@ void usage() {
                "  --jobs N         run at most N jobs (default: all)\n"
                "  --filter STR     only jobs whose name contains STR\n"
                "  --category STR   only jobs in this category\n"
-               "                   (injection | jit | malware | benign)\n"
+               "                   (injection | jit | malware | benign |\n"
+               "                   policy)\n"
                "  --timeout-ms N   per-job wall-clock deadline (default "
                "60000; 0 = none)\n"
                "  --budget N       per-job instruction budget override\n"
@@ -52,7 +59,11 @@ void usage() {
                "                   (src/sa) per job before record/replay and\n"
                "                   score it next to the dynamic verdicts\n"
                "  --policies PATH  load the confluence ruleset from a JSON\n"
-               "                   policy file (replaces the built-ins)\n"
+               "                   policy file (replaces the built-ins and\n"
+               "                   adds the policy-corpus jobs)\n"
+               "  --graph-out DIR  write one provenance-graph artifact per\n"
+               "                   job to DIR/<job>.fpg (src/graph format;\n"
+               "                   byte-identical for any --workers)\n"
                "  --list-policies  print the effective ruleset as policy-file\n"
                "                   JSON and exit\n"
                "  --list           print the job catalogue and exit\n"
@@ -94,6 +105,7 @@ int main(int argc, char** argv) {
     else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
     else if (arg == "--policies" && i + 1 < argc) policies_path = argv[++i];
+    else if (arg == "--graph-out" && i + 1 < argc) cfg.graph_out = argv[++i];
     else if (arg == "--static-prefilter") cfg.static_prefilter = true;
     else if (arg == "--list-policies") list_policies = true;
     else if (arg == "--list") list_only = true;
@@ -143,8 +155,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::vector<attacks::CorpusEntry> catalogue = attacks::full_corpus();
+  if (!policies_path.empty() || category == "policy") {
+    // Policy-dependent scenarios only make sense when the ruleset that
+    // defines their ground truth is in play (or when asked for by name).
+    for (auto& e : attacks::policy_corpus()) catalogue.push_back(std::move(e));
+  }
   std::vector<farm::JobSpec> jobs;
-  for (auto& e : attacks::full_corpus()) {
+  for (auto& e : catalogue) {
     if (!filter.empty() && e.name.find(filter) == std::string::npos) continue;
     if (!category.empty() && e.category != category) continue;
     if (max_jobs && jobs.size() >= max_jobs) break;
