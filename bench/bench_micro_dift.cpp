@@ -17,16 +17,26 @@
 // binding every trigger (kDispatchRules below), isolating what the
 // declarative rule-dispatch layer costs over the built-in fast path.
 //
+// The _btc variants rerun the core regimes with the block-translation
+// cache on (the production default): decode-once dispatch plus the
+// engine's taint-inert elision fast path.
+//
 // With FAROS_BENCH_JSON=<path> set, main() appends one JSONL record per
-// regime (fixed-work wall-clock runs, independent of google-benchmark's
-// timing machinery) — the format committed in BENCH_shadow.json.
+// regime (median of five fixed-work wall-clock samples, independent of
+// google-benchmark's timing machinery) — the format committed in
+// BENCH_shadow.json. With FAROS_BENCH_GATE set, the block-cache overhead
+// ceiling is enforced and gate failure exits nonzero.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
 
 #include "attacks/guest_common.h"
 #include "bench_util.h"
 #include "core/engine.h"
 #include "core/rules.h"
 #include "os/machine.h"
+#include "vm/btcache.h"
 
 using namespace faros;
 
@@ -236,6 +246,10 @@ struct Regime {
   bool copier;
   bool metrics = true;  // Options::collect_metrics for this run
   const char* rules_json = nullptr;  // non-null: replace the built-in rules
+  // Block-translation cache (vm/btcache.h). Off for the legacy regimes so
+  // their numbers stay comparable across releases; the _btc regimes measure
+  // the cached interpreter with SA-guided elision.
+  bool block_cache = false;
 };
 
 /// A ruleset binding every trigger with predicates that evaluate but never
@@ -260,8 +274,11 @@ struct RegimeRun {
 };
 
 RegimeRun run_regime(const Regime& r, u64 insns) {
-  os::Machine m;
+  os::MachineConfig mc;
+  mc.kernel.block_cache = r.block_cache;
+  os::Machine m(mc);
   core::Options opts = r.clean ? clean_options() : core::Options{};
+  opts.block_cache = r.block_cache;
   opts.collect_metrics = r.metrics;
   if (r.rules_json) {
     auto rs = core::parse_ruleset_json(r.rules_json);
@@ -287,8 +304,26 @@ RegimeRun run_regime(const Regime& r, u64 insns) {
   }
   m.run(insns / 10);  // warm-up
   RegimeRun out;
-  out.seconds = bench::time_s([&] { m.run(insns); });
-  if (r.attach_engine) out.metrics = engine.metrics_snapshot();
+  // Median of five fixed-work samples: each sample runs exactly `insns`
+  // instructions of the steady-state loop, so one scheduler hiccup or page
+  // of cold cache skews a single sample, not the reported figure.
+  double samples[5];
+  for (double& s : samples) s = bench::time_s([&] { m.run(insns); });
+  std::sort(std::begin(samples), std::end(samples));
+  out.seconds = samples[2];
+  if (r.attach_engine) {
+    out.metrics = engine.metrics_snapshot();
+    if (const vm::BlockCache* btc = m.kernel().interp().block_cache()) {
+      const vm::BlockCacheStats& bs = btc->stats();
+      out.metrics.counters[static_cast<u32>(obs::Ctr::kBtTranslate)] +=
+          bs.translated;
+      out.metrics.counters[static_cast<u32>(obs::Ctr::kBtHit)] += bs.hits;
+      out.metrics.counters[static_cast<u32>(obs::Ctr::kBtEvictSmc)] +=
+          bs.evict_smc;
+      out.metrics.counters[static_cast<u32>(obs::Ctr::kBtEvictCr3)] +=
+          bs.evict_cr3;
+    }
+  }
   return out;
 }
 
@@ -297,8 +332,13 @@ double rate(u64 hit, u64 miss) {
   return total ? static_cast<double>(hit) / static_cast<double>(total) : 0;
 }
 
-void emit_json_summary() {
-  if (!std::getenv("FAROS_BENCH_JSON")) return;
+/// Runs the fixed-work regime sweep; emits JSONL when FAROS_BENCH_JSON is
+/// set and, when FAROS_BENCH_GATE is set, enforces the block-cache overhead
+/// ceiling (clean and image-tainted ≤ 1.6× cache-on bare — CI's tripwire
+/// for regressions in the elision fast path). Returns false on gate failure.
+bool emit_json_summary() {
+  const bool gate = std::getenv("FAROS_BENCH_GATE") != nullptr;
+  if (!std::getenv("FAROS_BENCH_JSON") && !gate) return true;
   constexpr u64 kInsns = 2000000;
   // The _noobs pair isolates the observability tax: identical workloads
   // with collect_metrics off, so every counter handle is null.
@@ -318,10 +358,23 @@ void emit_json_summary() {
        /*metrics=*/true, kDispatchRules},
       {"interp_faros_tainted_copy_rules", true, false, true,
        /*metrics=*/true, kDispatchRules},
+      // Block-translation cache on (the production default): same four core
+      // workloads. clean/image_tainted ride the elision fast path; the
+      // copier keeps its loads/stores instrumented but skips fetch+decode.
+      {"interp_bare_btc", false, false, false, /*metrics=*/true,
+       /*rules_json=*/nullptr, /*block_cache=*/true},
+      {"interp_faros_clean_btc", true, true, false, /*metrics=*/true,
+       /*rules_json=*/nullptr, /*block_cache=*/true},
+      {"interp_faros_image_tainted_btc", true, false, false,
+       /*metrics=*/true, /*rules_json=*/nullptr, /*block_cache=*/true},
+      {"interp_faros_tainted_copy_btc", true, false, true, /*metrics=*/true,
+       /*rules_json=*/nullptr, /*block_cache=*/true},
   };
+  std::map<std::string, double> ns_by_case;
   for (const Regime& r : regimes) {
     RegimeRun run = run_regime(r, kInsns);
     const double s = run.seconds;
+    ns_by_case[r.name] = s / static_cast<double>(kInsns) * 1e9;
     JsonWriter rec;
     rec.field("case", r.name)
         .field("insns", kInsns)
@@ -343,6 +396,24 @@ void emit_json_summary() {
     }
     bench::json_record("micro_dift", rec);
   }
+
+  if (!gate) return true;
+  const double bare = ns_by_case["interp_bare_btc"];
+  const double clean_x = ns_by_case["interp_faros_clean_btc"] / bare;
+  const double image_x = ns_by_case["interp_faros_image_tainted_btc"] / bare;
+  constexpr double kCeiling = 1.6;
+  std::printf(
+      "block-cache gate: clean %.2fx, image-tainted %.2fx of bare "
+      "(ceiling %.1fx)\n",
+      clean_x, image_x, kCeiling);
+  if (clean_x > kCeiling || image_x > kCeiling) {
+    std::fprintf(stderr,
+                 "FAIL: block-cache overhead ceiling exceeded "
+                 "(clean %.2fx, image-tainted %.2fx > %.1fx)\n",
+                 clean_x, image_x, kCeiling);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -351,6 +422,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  emit_json_summary();
-  return 0;
+  return emit_json_summary() ? 0 : 1;
 }

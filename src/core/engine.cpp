@@ -27,6 +27,8 @@ FarosEngine::FarosEngine(const os::OsiQuery& osi, Options opts)
     file_write_src_bytes_ = {s, obs::Ctr::kFileWriteSrcBytes};
     image_map_src_bytes_ = {s, obs::Ctr::kImageMapSrcBytes};
     export_tag_bytes_ = {s, obs::Ctr::kExportTagBytes};
+    bt_elided_ = {s, obs::Ctr::kBtElidedBlocks};
+    bt_guard_fail_ = {s, obs::Ctr::kBtGuardFail};
     rule_engine_.bind_obs(s);
   }
   // An explicit ruleset replaces the built-ins; otherwise the legacy
@@ -368,6 +370,74 @@ void FarosEngine::on_insn_retired(const vm::InsnEvent& ev,
   }
 }
 
+// Block-elision guard (vm/btcache.h). The interpreter offers a cached,
+// fully taint-inert block; approving means skipping the per-instruction
+// path above for its `count` instructions. That is sound exactly when every
+// per-instruction effect is provably a no-op or precomputable:
+//  * register propagation — with a fully clean bank, every inert opcode's
+//    register rule degenerates to clears/copies/unions of empty lists
+//    (and the bank stays clean, so the guard self-maintains);
+//  * fetch provenance — on a clean code page there is none; on a tainted
+//    page the per-insn walk is a pure function of (block bytes, cr3, page
+//    shadow), so a block-level memo replays its one-time writebacks and
+//    yields the tainted-fetch count for exact stats accounting;
+//  * triggers — inert opcodes can only fire kTaintedFetch, so elision is
+//    declined when tainted fetches exist and such rules are bound.
+bool FarosEngine::try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
+                                  const vm::Instruction* insns, u32 count) {
+  (void)pc;
+  (void)insns;
+  if (!opts_.block_cache) return false;
+  if (!sregs(cr3).clean()) {
+    bt_guard_fail_.inc();
+    return false;
+  }
+  u32 tainted_insns = 0;
+  if (shadow_.range_tainted(start_pa, static_cast<u64>(count) *
+                                          vm::kInsnSize)) {
+    BlockMemoEntry& e =
+        block_memo_[(start_pa / vm::kInsnSize) & kBlockMemoMask];
+    const u64 version = shadow_.page_version(start_pa);
+    if (!(e.start_pa == start_pa && e.cr3 == cr3 && e.version == version &&
+          version != 0 && e.count == count)) {
+      // First pass per (block, page state): run exactly the fetch loop the
+      // instrumented path runs per instruction — including the one-time
+      // process-tag writebacks, which are idempotent — then memoize
+      // against the post-writeback stamp.
+      u32 tainted = 0;
+      for (u32 i = 0; i < count; ++i) {
+        const PAddr ipa = start_pa + static_cast<u64>(i) * vm::kInsnSize;
+        ProvListId fetch = kEmptyProv;
+        for (u32 b = 0; b < vm::kInsnSize; ++b) {
+          ProvListId id = shadow_.get(ipa + b);
+          if (id != kEmptyProv) {
+            ProvListId id2 = with_process(id, cr3, false);
+            if (id2 != id) shadow_.set(ipa + b, id2);
+            fetch = store_.merge(fetch, id2);
+          }
+        }
+        if (fetch != kEmptyProv) ++tainted;
+      }
+      e.start_pa = start_pa;
+      e.cr3 = cr3;
+      e.version = shadow_.page_version(start_pa);
+      e.count = count;
+      e.tainted_insns = tainted;
+    }
+    tainted_insns = e.tainted_insns;
+    if (tainted_insns != 0 && rule_engine_.has_rules(Trigger::kTaintedFetch)) {
+      // Bound fetch rules need per-instruction events; the writebacks just
+      // performed are idempotent, so the instrumented re-walk is identical.
+      bt_guard_fail_.inc();
+      return false;
+    }
+  }
+  stats_.insns_seen += count;
+  stats_.tainted_fetches += tainted_insns;
+  bt_elided_.inc();
+  return true;
+}
+
 void FarosEngine::run_trigger(Trigger t, const vm::InsnEvent& ev,
                               const vm::AddressSpace& as,
                               const RuleInputs& in) {
@@ -452,6 +522,9 @@ void FarosEngine::on_process_exit(const osi::ProcessInfo& p, u32 exit_code) {
   // so the recycled identity never inherits the old process's results.
   for (FetchCacheEntry& e : fetch_cache_) {
     if (e.cr3 == p.cr3) e = FetchCacheEntry{};
+  }
+  for (BlockMemoEntry& e : block_memo_) {
+    if (e.cr3 == p.cr3) e = BlockMemoEntry{};
   }
 }
 

@@ -53,6 +53,12 @@ struct Options {
   /// default, as in the paper; enabling demonstrates overtainting.
   bool propagate_address_deps = false;
 
+  /// Approve uninstrumented execution of cached taint-inert blocks
+  /// (vm::ExecHooks::try_elide_block). Detection is bit-identical either
+  /// way; off forces the fully instrumented path (--no-block-cache sets
+  /// this and the machine-side cache toggle together).
+  bool block_cache = true;
+
   /// Built-in policies (ignored when `rules` is non-empty).
   bool policy_netflow_export = true;
   bool policy_cross_process_export = true;
@@ -105,6 +111,8 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   // vm::ExecHooks
   void on_insn_retired(const vm::InsnEvent& ev,
                        const vm::AddressSpace& as) override;
+  bool try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
+                       const vm::Instruction* insns, u32 count) override;
 
   // osi::GuestMonitor
   void on_process_start(const osi::ProcessInfo& p) override;
@@ -232,6 +240,23 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   static constexpr u32 kFetchCacheMask = kFetchCacheSize - 1;
   std::vector<FetchCacheEntry> fetch_cache_ =
       std::vector<FetchCacheEntry>(kFetchCacheSize);
+
+  /// Block-level analogue of FetchCacheEntry for elided blocks on *tainted*
+  /// code pages: caches the per-block count of tainted-fetch instructions
+  /// (what stats_.tainted_fetches needs) against the page's post-writeback
+  /// mutation stamp. `count` is part of the validity check because an SMC
+  /// retranslation can change the block length without a shadow mutation.
+  struct BlockMemoEntry {
+    PAddr start_pa = ~0ull;
+    PAddr cr3 = 0;
+    u64 version = 0;
+    u32 count = 0;
+    u32 tainted_insns = 0;
+  };
+  static constexpr u32 kBlockMemoSize = 1024;  // power of two
+  static constexpr u32 kBlockMemoMask = kBlockMemoSize - 1;
+  std::vector<BlockMemoEntry> block_memo_ =
+      std::vector<BlockMemoEntry>(kBlockMemoSize);
   RuleEngine rule_engine_;
   std::vector<u32> matched_;  // dispatch scratch (avoids per-site allocs)
   std::vector<Finding> findings_;
@@ -253,6 +278,8 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   obs::Counter file_write_src_bytes_;
   obs::Counter image_map_src_bytes_;
   obs::Counter export_tag_bytes_;
+  obs::Counter bt_elided_;      // inert blocks approved for the fast body
+  obs::Counter bt_guard_fail_;  // elision declined (dirty bank / fetch rules)
 };
 
 }  // namespace faros::core

@@ -264,15 +264,33 @@ class ShadowMemory {
 class ShadowRegisters {
  public:
   ProvListId get(u8 reg, u8 byte) const { return regs_[reg][byte]; }
-  void set(u8 reg, u8 byte, ProvListId id) { regs_[reg][byte] = id; }
+  void set(u8 reg, u8 byte, ProvListId id) {
+    ProvListId& slot = regs_[reg][byte];
+    tainted_ += static_cast<u32>(id != kEmptyProv) -
+                static_cast<u32>(slot != kEmptyProv);
+    slot = id;
+  }
 
   void clear_reg(u8 reg) {
-    for (auto& b : regs_[reg]) b = kEmptyProv;
+    for (auto& b : regs_[reg]) {
+      if (b != kEmptyProv) --tainted_;
+      b = kEmptyProv;
+    }
   }
 
   void set_all(u8 reg, ProvListId id) {
-    for (auto& b : regs_[reg]) b = id;
+    for (auto& b : regs_[reg]) {
+      tainted_ += static_cast<u32>(id != kEmptyProv) -
+                  static_cast<u32>(b != kEmptyProv);
+      b = id;
+    }
   }
+
+  /// O(1): no register byte carries provenance. The block-elision guard —
+  /// with a fully clean bank, every taint-inert instruction's register
+  /// effect is a no-op (clears of clean registers, copies/unions of empty
+  /// lists), so the whole bank check substitutes for per-insn propagation.
+  bool clean() const { return tainted_ == 0; }
 
   /// Union of all four byte lists of a register (for ALU operand taint).
   ProvListId reg_union(u8 reg, ProvStore& store) const {
@@ -290,6 +308,7 @@ class ShadowRegisters {
 
  private:
   ProvListId regs_[vm::kNumRegs][4] = {};
+  u32 tainted_ = 0;  // nonzero entries in regs_
 };
 
 /// Per-segment byte provenance keyed by (segment id, offset): carries

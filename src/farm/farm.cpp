@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "sa/analyzer.h"
+#include "vm/btcache.h"
 
 namespace faros::farm {
 
@@ -182,6 +183,19 @@ JobResult Farm::run_once(const JobSpec& spec) const {
     r.metrics.timer_ns = local.timer_ns;
     for (u32 i = 0; i < obs::kCtrCount; ++i) {
       r.metrics.counters[i] += local.counters[i];
+    }
+    // The block cache lives in the replay interpreter (src/vm keeps no obs
+    // dependency, so its stats are plain u64s surfaced here). Counting only
+    // the replay machine keeps these deterministic per job.
+    if (const vm::BlockCache* btc = rep.kernel().interp().block_cache()) {
+      const vm::BlockCacheStats& bs = btc->stats();
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kBtTranslate)] +=
+          bs.translated;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kBtHit)] += bs.hits;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kBtEvictSmc)] +=
+          bs.evict_smc;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kBtEvictCr3)] +=
+          bs.evict_cr3;
     }
   }
   r.replay_instructions = rep_stats.instructions;

@@ -41,6 +41,12 @@ const char* ctr_name(Ctr c) {
     case Ctr::kRuleEvalsTaintedFetch: return "rule_evals_tainted_fetch";
     case Ctr::kRuleEvalsSyscallArg: return "rule_evals_syscall_arg";
     case Ctr::kRuleMatches: return "rule_matches";
+    case Ctr::kBtTranslate: return "bt_translate";
+    case Ctr::kBtHit: return "bt_hit";
+    case Ctr::kBtEvictSmc: return "bt_evict_smc";
+    case Ctr::kBtEvictCr3: return "bt_evict_cr3";
+    case Ctr::kBtElidedBlocks: return "bt_elided_blocks";
+    case Ctr::kBtGuardFail: return "bt_guard_fail";
     case Ctr::kCount: break;
   }
   return "?";

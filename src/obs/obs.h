@@ -99,6 +99,14 @@ enum class Ctr : u32 {
   kRuleEvalsSyscallArg,     // ... at syscall-arg sites
   kRuleMatches,             // rules whose predicate conjunction held
 
+  // --- block-translation cache (src/vm/btcache.h + engine elision) ---
+  kBtTranslate,     // blocks decoded into the cache
+  kBtHit,           // block dispatches served from the cache
+  kBtEvictSmc,      // blocks evicted by a write into their code frame
+  kBtEvictCr3,      // blocks evicted by process-exit / frame recycling
+  kBtElidedBlocks,  // inert blocks the engine ran uninstrumented
+  kBtGuardFail,     // elision declined (tainted regs / bound fetch rules)
+
   kCount,
 };
 

@@ -28,8 +28,13 @@ Kernel::Kernel(const KernelConfig& cfg)
       rng_(cfg.rng_seed) {
   // Frame 0 stays reserved so a zero CR3/frame is never valid.
   frames_.reserve(0);
-  frames_.set_free_observer(
-      [this](PAddr frame) { monitors_.on_frame_recycled(frame); });
+  interp_.set_block_cache_enabled(cfg.block_cache);
+  frames_.set_free_observer([this](PAddr frame) {
+    // Translated blocks must never outlive the frame holding their bytes:
+    // the next owner of this frame gets fresh translations.
+    interp_.invalidate_code_frame(frame);
+    monitors_.on_frame_recycled(frame);
+  });
 }
 
 Kernel::~Kernel() = default;
@@ -247,6 +252,9 @@ void Kernel::terminate(Process& p, u32 exit_code) {
   net_.close_all_for(p.pid);
   p.handles.clear();
   monitors_.on_process_exit(p.info(), exit_code);
+  // Drop the dying space's translated blocks before its CR3 frame returns
+  // to the allocator — a recycled CR3 must start with a cold cache.
+  interp_.evict_cr3_blocks(p.as.cr3());
   p.as.destroy(/*free_user_frames=*/true);
 }
 

@@ -33,6 +33,7 @@ struct KernelConfig {
   u32 guest_ip = 0;     // 0 -> default 169.254.57.168
   u64 rng_seed = 1;     // NtGetRandom stream (deterministic)
   u32 max_debug_lines = 4096;
+  bool block_cache = true;  // block-translation cache (vm/btcache.h)
 };
 
 /// OSI query surface (what PANDA's OSI plugin exposes): FAROS resolves the

@@ -42,6 +42,17 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
 
   rep.blocks = static_cast<u32>(cfg.blocks.size());
   rep.insns = cfg.insn_count;
+  for (const auto& [va, bb] : cfg.blocks) {
+    (void)va;
+    bool inert = true;
+    for (const vm::Instruction& insn : bb.insns) {
+      if (!vm::taint_inert(insn.op)) { inert = false; break; }
+    }
+    if (inert) {
+      ++rep.inert_blocks;
+      rep.inert_insns += static_cast<u32>(bb.insns.size());
+    }
+  }
   rep.indirect_sites = static_cast<u32>(cfg.indirects.size());
   for (const IndirectSite& site : cfg.indirects) {
     if (site.resolved) ++rep.resolved_indirects;
@@ -123,6 +134,8 @@ std::string image_jsonl(const std::string& program, const ImageReport& r) {
       .field("size", r.size)
       .field("blocks", r.blocks)
       .field("insns", r.insns)
+      .field("inert_blocks", r.inert_blocks)
+      .field("inert_insns", r.inert_insns)
       .field("indirect_sites", r.indirect_sites)
       .field("resolved_indirects", r.resolved_indirects)
       .field("dead_regions", r.dead_regions)

@@ -28,6 +28,10 @@ struct ImageReport {
   std::string image;
   u32 base = 0, entry = 0, size = 0;
   u32 blocks = 0, insns = 0;
+  /// Blocks (and their instruction total) whose every opcode is
+  /// vm::taint_inert — the static upper bound on what the runtime
+  /// block-translation cache (vm/btcache.h) may run uninstrumented.
+  u32 inert_blocks = 0, inert_insns = 0;
   u32 indirect_sites = 0, resolved_indirects = 0;
   u32 dead_regions = 0, invalid_sites = 0;
   u32 passes = 0;  // analysis rounds until the indirect fixpoint

@@ -1,6 +1,17 @@
 #include "vm/cpu.h"
 
+#include <algorithm>
+#include <type_traits>
+
+#include "vm/btcache.h"
+
 namespace faros::vm {
+
+namespace {
+/// Zero-size stand-in for InsnEvent in the uninstrumented executor, so the
+/// fast body pays nothing for event plumbing.
+struct NoEvent {};
+}  // namespace
 
 const char* trap_kind_name(TrapKind kind) {
   switch (kind) {
@@ -12,6 +23,24 @@ const char* trap_kind_name(TrapKind kind) {
     case TrapKind::kBreak: return "break";
   }
   return "?";
+}
+
+Interpreter::Interpreter(PhysMem& mem)
+    : mem_(&mem), btc_(std::make_unique<BlockCache>(mem)) {}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::set_block_cache_enabled(bool on) {
+  if (on == (btc_ != nullptr)) return;
+  btc_ = on ? std::make_unique<BlockCache>(*mem_) : nullptr;
+}
+
+void Interpreter::invalidate_code_frame(PAddr frame_base) {
+  if (btc_) btc_->evict_frame(frame_base, /*smc=*/false);
+}
+
+void Interpreter::evict_cr3_blocks(PAddr cr3) {
+  if (btc_) btc_->evict_cr3(cr3);
 }
 
 void Interpreter::flush_tlb() {
@@ -52,6 +81,7 @@ StepInfo Interpreter::run(CpuState& cpu, const AddressSpace& as,
   // Kernel work (map/unmap/protect/process switch) happens between run()
   // calls; translations cached within one quantum are safe.
   flush_tlb();
+  if (btc_) return run_blocks(cpu, as, max_insns);
   StepInfo info;
   for (u64 i = 0; i < max_insns; ++i) {
     StepInfo one = exec_one(cpu, as);
@@ -60,6 +90,98 @@ StepInfo Interpreter::run(CpuState& cpu, const AddressSpace& as,
       one.executed = info.executed;
       return one;
     }
+  }
+  info.result = StepResult::kBudget;
+  return info;
+}
+
+StepInfo Interpreter::run_blocks(CpuState& cpu, const AddressSpace& as,
+                                 u64 max_insns) {
+  StepInfo info;
+  u64 executed = 0;
+  auto stop = [&](StepInfo one) {
+    one.executed = executed;
+    return one;
+  };
+  auto entry_trap = [&](VAddr pc, TrapKind kind, const Fault* fault) {
+    StepInfo t;
+    t.pc = pc;
+    t.result = StepResult::kTrap;
+    t.trap = kind;
+    if (fault) t.fault = *fault;
+    at_block_start_ = true;
+    return stop(t);
+  };
+  while (executed < max_insns) {
+    const VAddr pc = cpu.pc();
+    // Entry checks mirror the per-instruction path: within a block the pc
+    // advances by kInsnSize (alignment preserved) and the body stays on the
+    // start page (one fetch translation covers it), so checking here is
+    // checking every instruction.
+    if (pc % kInsnSize != 0) {
+      return entry_trap(pc, TrapKind::kPcMisaligned, nullptr);
+    }
+    Fault fault;
+    auto pc_pa = translate_cached(as, pc, AccessType::kExec, &fault);
+    if (!pc_pa) return entry_trap(pc, TrapKind::kMemFault, &fault);
+    TranslatedBlock* b = btc_->lookup(as.cr3(), pc);
+    if (b && b->start_pa != *pc_pa) {
+      // Same (cr3, va) now maps elsewhere — remapped since translation.
+      btc_->evict_block(as.cr3(), pc);
+      b = nullptr;
+    }
+    if (!b) b = btc_->translate(as.cr3(), pc, *pc_pa);
+    if (!b) {
+      // First slot undecodable: the same bad-opcode trap the per-insn
+      // path raises after a successful fetch.
+      return entry_trap(pc, TrapKind::kBadOpcode, nullptr);
+    }
+    const u32 n = static_cast<u32>(b->insns.size());
+    const u32 take = static_cast<u32>(std::min<u64>(n, max_insns - executed));
+    StepInfo one;
+    if (!hooks_) {
+      one = exec_cached<false>(cpu, as, *b, take);
+    } else if (take == n && b->inert &&
+               hooks_->try_elide_block(as.cr3(), pc, b->start_pa,
+                                       b->insns.data(), n)) {
+      // The plugin accounted for all n instructions itself; inert bodies
+      // cannot trap, so all n retire through the fast body.
+      one = exec_cached<false>(cpu, as, *b, n);
+    } else {
+      one = exec_cached<true>(cpu, as, *b, take);
+    }
+    executed += one.executed;
+    if (one.result != StepResult::kBudget) return stop(one);
+  }
+  info.result = StepResult::kBudget;
+  info.executed = executed;
+  return info;
+}
+
+template <bool kInstrumented>
+StepInfo Interpreter::exec_cached(CpuState& cpu, const AddressSpace& as,
+                                  const TranslatedBlock& block, u32 count) {
+  StepInfo info;
+  const u64 epoch = btc_->evict_epoch();
+  const Instruction* insns = block.insns.data();
+  PAddr pa = block.start_pa;
+  for (u32 i = 0; i < count; ++i) {
+    // Copy before executing: a self-modifying store inside the block may
+    // evict `block` (freeing insns) as a side effect of this instruction.
+    const Instruction insn = insns[i];
+    StepInfo one = exec_decoded<kInstrumented>(cpu, as, insn, pa);
+    info.executed += one.executed;
+    if (one.result != StepResult::kBudget) {
+      one.executed = info.executed;
+      return one;
+    }
+    if (btc_->evict_epoch() != epoch) {
+      // A write hit some translated code frame. The predecoded body may be
+      // stale from the next instruction on — re-enter the dispatch loop,
+      // which re-fetches from live memory (per-instruction semantics).
+      break;
+    }
+    pa += kInsnSize;
   }
   info.result = StepResult::kBudget;
   return info;
@@ -116,7 +238,22 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
   }
   auto decoded = decode(mem_->span(*pc_pa, kInsnSize));
   if (!decoded) return trap(TrapKind::kBadOpcode);
-  const Instruction insn = *decoded;
+  return exec_decoded<true>(cpu, as, *decoded, *pc_pa);
+}
+
+template <bool kInstrumented>
+StepInfo Interpreter::exec_decoded(CpuState& cpu, const AddressSpace& as,
+                                   const Instruction& insn, PAddr pc_pa) {
+  StepInfo info;
+  info.pc = cpu.pc();
+  Fault fault;
+
+  auto trap = [&](TrapKind kind) {
+    info.result = StepResult::kTrap;
+    info.trap = kind;
+    at_block_start_ = true;
+    return info;
+  };
 
   if (at_block_start_) {
     ++block_count_;
@@ -124,19 +261,21 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
     if (hooks_) hooks_->on_block_begin(as.cr3(), cpu.pc());
   }
 
-  InsnEvent ev;
-  ev.cr3 = as.cr3();
-  ev.pc = cpu.pc();
-  ev.pc_pa = *pc_pa;
-  ev.insn = insn;
-  ev.rs1_val = cpu.regs[insn.rs1];
-  ev.rs2_val = cpu.regs[insn.rs2];
+  std::conditional_t<kInstrumented, InsnEvent, NoEvent> ev;
+  if constexpr (kInstrumented) {
+    ev.cr3 = as.cr3();
+    ev.pc = cpu.pc();
+    ev.pc_pa = pc_pa;
+    ev.insn = insn;
+    ev.rs1_val = cpu.regs[insn.rs1];
+    ev.rs2_val = cpu.regs[insn.rs2];
+  }
 
   const u32 next_pc = cpu.pc() + kInsnSize;
   u32 new_pc = next_pc;
   auto& r = cpu.regs;
-  const u32 a = ev.rs1_val;
-  const u32 b = ev.rs2_val;
+  const u32 a = cpu.regs[insn.rs1];
+  const u32 b = cpu.regs[insn.rs2];
 
   auto do_load = [&](unsigned size) -> bool {
     VAddr ea = a + insn.imm;
@@ -144,7 +283,9 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
     PAddr pa = 0;
     if (!mem_read(as, ea, size, &value, &pa, &fault)) return false;
     r[insn.rd] = value;
-    ev.mem = MemAccess{ea, pa, static_cast<u8>(size), /*is_write=*/false};
+    if constexpr (kInstrumented) {
+      ev.mem = MemAccess{ea, pa, static_cast<u8>(size), /*is_write=*/false};
+    }
     return true;
   };
   auto do_store = [&](unsigned size) -> bool {
@@ -152,7 +293,9 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
     u32 mask = size == 4 ? 0xffffffffu : (1u << (8 * size)) - 1;
     PAddr pa = 0;
     if (!mem_write(as, ea, size, b & mask, &pa, &fault)) return false;
-    ev.mem = MemAccess{ea, pa, static_cast<u8>(size), /*is_write=*/true};
+    if constexpr (kInstrumented) {
+      ev.mem = MemAccess{ea, pa, static_cast<u8>(size), /*is_write=*/true};
+    }
     return true;
   };
   auto set_flags = [&](u32 x, u32 y) {
@@ -253,14 +396,18 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
       PAddr pa = 0;
       if (!mem_write(as, sp, 4, a, &pa, &fault)) return mem_trap();
       r[SP] = sp;
-      ev.mem = MemAccess{sp, pa, 4, /*is_write=*/true};
+      if constexpr (kInstrumented) {
+        ev.mem = MemAccess{sp, pa, 4, /*is_write=*/true};
+      }
       break;
     }
     case Opcode::kPop: {
       u32 value = 0;
       PAddr pa = 0;
       if (!mem_read(as, r[SP], 4, &value, &pa, &fault)) return mem_trap();
-      ev.mem = MemAccess{r[SP], pa, 4, /*is_write=*/false};
+      if constexpr (kInstrumented) {
+        ev.mem = MemAccess{r[SP], pa, 4, /*is_write=*/false};
+      }
       r[insn.rd] = value;
       r[SP] += 4;
       break;
@@ -273,10 +420,19 @@ StepInfo Interpreter::exec_one(CpuState& cpu, const AddressSpace& as) {
   cpu.set_pc(new_pc);
   ++instr_count_;
   info.executed = 1;
-  ev.instr_index = instr_count_;
+  if constexpr (kInstrumented) ev.instr_index = instr_count_;
   if (ends_block(insn.op)) at_block_start_ = true;
-  if (hooks_) hooks_->on_insn_retired(ev, as);
+  if constexpr (kInstrumented) {
+    if (hooks_) hooks_->on_insn_retired(ev, as);
+  }
   return info;
 }
+
+template StepInfo Interpreter::exec_decoded<true>(CpuState&,
+                                                  const AddressSpace&,
+                                                  const Instruction&, PAddr);
+template StepInfo Interpreter::exec_decoded<false>(CpuState&,
+                                                   const AddressSpace&,
+                                                   const Instruction&, PAddr);
 
 }  // namespace faros::vm

@@ -2,8 +2,17 @@
 // equivalent of PANDA's instrumented QEMU: an attached plugin observes every
 // retired instruction (grouped into basic blocks) together with its memory
 // access, which is all the FAROS taint engine needs.
+//
+// Execution has two gears. With the block-translation cache enabled (the
+// default, see vm/btcache.h) the run loop dispatches whole predecoded basic
+// blocks: fetch-translate + decode happen once per block instead of once per
+// instruction, and a plugin may approve running taint-inert blocks through
+// an uninstrumented fast body (ExecHooks::try_elide_block). With the cache
+// disabled the historical per-instruction loop runs unchanged. Both gears
+// retire bit-identical architectural state and event streams.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "common/types.h"
@@ -12,6 +21,9 @@
 #include "vm/phys_mem.h"
 
 namespace faros::vm {
+
+class BlockCache;
+struct TranslatedBlock;
 
 /// Architectural register state of one hardware thread.
 struct CpuState {
@@ -86,16 +98,48 @@ class ExecHooks {
     (void)ev;
     (void)as;
   }
+  /// Asked once per dispatch of a cached, fully taint-inert basic block
+  /// (`count` predecoded instructions at pc/start_pa: no memory ops, no
+  /// syscalls, cannot trap). Returning true means the plugin has accounted
+  /// for all `count` instructions itself and the interpreter may execute
+  /// the block without per-instruction callbacks; on_block_begin still
+  /// fires. The default keeps every plugin on the instrumented path.
+  virtual bool try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
+                               const Instruction* insns, u32 count) {
+    (void)cr3;
+    (void)pc;
+    (void)start_pa;
+    (void)insns;
+    (void)count;
+    return false;
+  }
 };
 
 /// Executes guest instructions. Holds the global instruction counter that
 /// record/replay keys on; the counter survives across processes.
+///
+/// The block cache registers itself as the PhysMem code-write observer, so
+/// at most one cache-enabled Interpreter may be attached to a PhysMem at a
+/// time (the machine layer guarantees this: one interpreter per machine).
 class Interpreter {
  public:
-  explicit Interpreter(PhysMem& mem) : mem_(&mem) {}
+  explicit Interpreter(PhysMem& mem);
+  ~Interpreter();
 
   void set_hooks(ExecHooks* hooks) { hooks_ = hooks; }
   ExecHooks* hooks() const { return hooks_; }
+
+  /// Toggles the block-translation cache (enabled by default). Disabling
+  /// restores the historical per-instruction fetch/decode/execute loop.
+  void set_block_cache_enabled(bool on);
+  bool block_cache_enabled() const { return btc_ != nullptr; }
+  /// The live cache, or nullptr when disabled (stats, tests).
+  const BlockCache* block_cache() const { return btc_.get(); }
+
+  /// Kernel-driven invalidation: a physical frame was recycled, or an
+  /// address space is being destroyed. No-ops when the cache is disabled.
+  void invalidate_code_frame(PAddr frame_base);
+  void evict_cr3_blocks(PAddr cr3);
 
   u64 instr_count() const { return instr_count_; }
 
@@ -110,6 +154,24 @@ class Interpreter {
 
  private:
   StepInfo exec_one(CpuState& cpu, const AddressSpace& as);
+
+  /// Post-decode execution of one instruction (block-begin bookkeeping,
+  /// the opcode switch, retirement). kInstrumented selects whether the
+  /// InsnEvent is built and on_insn_retired fired; both variants retire
+  /// identical architectural state.
+  template <bool kInstrumented>
+  StepInfo exec_decoded(CpuState& cpu, const AddressSpace& as,
+                        const Instruction& insn, PAddr pc_pa);
+
+  /// Block-dispatch run loop (cache enabled).
+  StepInfo run_blocks(CpuState& cpu, const AddressSpace& as, u64 max_insns);
+
+  /// Executes up to `count` predecoded instructions of a cached block,
+  /// stopping early on traps/halt/syscall or when an eviction epoch change
+  /// says the predecoded bytes may be stale (self-modifying code).
+  template <bool kInstrumented>
+  StepInfo exec_cached(CpuState& cpu, const AddressSpace& as,
+                       const TranslatedBlock& block, u32 count);
 
   bool mem_read(const AddressSpace& as, VAddr va, unsigned size, u32* value,
                 PAddr* first_pa, Fault* fault);
@@ -131,6 +193,7 @@ class Interpreter {
 
   PhysMem* mem_;
   ExecHooks* hooks_ = nullptr;
+  std::unique_ptr<BlockCache> btc_;  // null when the cache is disabled
   u64 instr_count_ = 0;
   u64 block_count_ = 0;
   bool at_block_start_ = true;

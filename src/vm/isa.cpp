@@ -147,6 +147,25 @@ bool ends_block(Opcode op) {
   }
 }
 
+bool taint_inert(Opcode op) {
+  switch (op) {
+    case Opcode::kLd8:
+    case Opcode::kLd16:
+    case Opcode::kLd32:
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+    case Opcode::kPush:
+    case Opcode::kPop:      // shadow-memory traffic and memory faults
+    case Opcode::kSyscall:  // kernel transition + syscall-arg trigger
+    case Opcode::kHalt:     // process lifecycle
+    case Opcode::kBrk:      // trap
+    case Opcode::kDivu:     // divide-by-zero traps mid-block
+      return false;
+    default: return true;
+  }
+}
+
 bool is_cond_branch(Opcode op) {
   switch (op) {
     case Opcode::kBeq:

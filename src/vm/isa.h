@@ -130,6 +130,16 @@ unsigned mem_access_size(Opcode op);
 /// syscall, halt, brk).
 bool ends_block(Opcode op);
 
+/// True when `op`, executed with a fully clean register bank, can neither
+/// observe nor produce tainted state and cannot trap or leave user mode:
+/// no loads/stores/push/pop (shadow-memory traffic + memory faults), no
+/// syscall/halt/brk (kernel transitions), no divu (div-by-zero trap).
+/// The block-translation cache (src/vm/btcache.h) runs blocks made only of
+/// these opcodes through an uninstrumented fast body once the DIFT engine
+/// approves the elision; the static analyzer (src/sa) exports the same
+/// classification per basic block, so it must live beside the decoder.
+bool taint_inert(Opcode op);
+
 // Control-flow classification for static analysis (src/sa). The static CFG
 // builder must agree with the interpreter about what transfers control and
 // where, so these live beside the decoder rather than in the analyzer.

@@ -7,8 +7,28 @@
 
 namespace faros::vm {
 
-PhysMem::PhysMem(u32 size_bytes) : ram_(page_ceil(size_bytes), 0) {
+PhysMem::PhysMem(u32 size_bytes)
+    : ram_(page_ceil(size_bytes), 0), watched_(num_frames(), 0) {
   assert(size_bytes > 0);
+}
+
+void PhysMem::notify_code_write(PAddr pa, u32 len) {
+  if (!on_code_write_) return;
+  const u64 first = pa >> kPageShift;
+  const u64 last = (pa + len - 1) >> kPageShift;
+  for (u64 f = first; f <= last; ++f) {
+    const u32 w = watched_[f];
+    if (!w) continue;
+    // Clip the write to this frame and test against the watched range.
+    const u32 frame_lo = static_cast<u32>(
+        std::max<u64>(pa, f << kPageShift) - (f << kPageShift));
+    const u32 frame_hi = static_cast<u32>(
+        std::min<u64>(pa + len, (f + 1) << kPageShift) - (f << kPageShift));
+    if (frame_lo < (w & 0xffffu) && (w >> 16) < frame_hi) {
+      on_code_write_(pa, len);
+      return;
+    }
+  }
 }
 
 u8 PhysMem::read8(PAddr pa) const {
@@ -30,17 +50,24 @@ u32 PhysMem::read32(PAddr pa) const {
 
 void PhysMem::write8(PAddr pa, u8 v) {
   assert(contains(pa, 1));
+  if (watched_[pa >> kPageShift]) notify_code_write(pa, 1);
   ram_[pa] = v;
 }
 
 void PhysMem::write16(PAddr pa, u16 v) {
   assert(contains(pa, 2));
+  if (watched_[pa >> kPageShift] | watched_[(pa + 1) >> kPageShift]) {
+    notify_code_write(pa, 2);
+  }
   ram_[pa] = static_cast<u8>(v & 0xff);
   ram_[pa + 1] = static_cast<u8>(v >> 8);
 }
 
 void PhysMem::write32(PAddr pa, u32 v) {
   assert(contains(pa, 4));
+  if (watched_[pa >> kPageShift] | watched_[(pa + 3) >> kPageShift]) {
+    notify_code_write(pa, 4);
+  }
   ram_[pa] = static_cast<u8>(v & 0xff);
   ram_[pa + 1] = static_cast<u8>((v >> 8) & 0xff);
   ram_[pa + 2] = static_cast<u8>((v >> 16) & 0xff);
@@ -54,6 +81,7 @@ void PhysMem::read(PAddr pa, MutByteSpan out) const {
 
 void PhysMem::write(PAddr pa, ByteSpan data) {
   assert(contains(pa, static_cast<u32>(data.size())));
+  if (!data.empty()) notify_code_write(pa, static_cast<u32>(data.size()));
   std::memcpy(ram_.data() + pa, data.data(), data.size());
 }
 

@@ -3,6 +3,7 @@
 // PANDA's taint2.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 
 #include "common/result.h"
@@ -23,6 +24,14 @@ constexpr u32 page_ceil(u32 addr) {
 /// beyond the configured size.
 class PhysMem {
  public:
+  /// Observer invoked with the written byte range when any byte of a
+  /// *watched* frame is written, before the write lands. The block-
+  /// translation cache watches frames holding translated code so
+  /// self-modifying code evicts stale blocks (and only the blocks the
+  /// range actually overlaps — data sharing a page with code must not
+  /// thrash the cache); unwatched frames pay one flag load per store.
+  using CodeWriteObserver = std::function<void(PAddr pa, u32 len)>;
+
   explicit PhysMem(u32 size_bytes);
 
   u32 size() const { return static_cast<u32>(ram_.size()); }
@@ -45,8 +54,39 @@ class PhysMem {
 
   ByteSpan span(PAddr pa, u32 len) const;
 
+  void set_code_write_observer(CodeWriteObserver obs) {
+    on_code_write_ = std::move(obs);
+  }
+
+  /// Watches byte offsets [lo, hi) of the frame (hi <= kPageSize). Repeated
+  /// calls widen the watched range to the union — it never shrinks until
+  /// unwatch_frame. Writes outside the range never fire the observer, so
+  /// data sharing a page with translated code costs one compare per store.
+  void watch_frame(PAddr frame_base, u32 lo, u32 hi) {
+    u32& w = watched_[frame_base >> kPageShift];
+    if (w) {
+      lo = std::min(lo, w >> 16);
+      hi = std::max(hi, w & 0xffffu);
+    }
+    w = (lo << 16) | hi;
+  }
+  void unwatch_frame(PAddr frame_base) {
+    watched_[frame_base >> kPageShift] = 0;
+  }
+  bool frame_watched(PAddr frame_base) const {
+    return watched_[frame_base >> kPageShift] != 0;
+  }
+
  private:
+  /// Out-of-line slow path: fires the observer once with [pa, pa+len) when
+  /// the write overlaps at least one frame's watched byte range.
+  void notify_code_write(PAddr pa, u32 len);
+
   Bytes ram_;
+  // One packed watch range per frame: 0 = unwatched, else (lo << 16) | hi
+  // byte offsets (hi exclusive, <= kPageSize).
+  std::vector<u32> watched_;
+  CodeWriteObserver on_code_write_;
 };
 
 /// Bitmap frame allocator over guest RAM. Deterministic: always returns the

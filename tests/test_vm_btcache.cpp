@@ -1,0 +1,407 @@
+// Block-translation cache: translate/hit accounting, self-modifying code
+// (guest stores into the executing block, host writes, randomized write
+// fuzzing against the uncached interpreter), CR3 recycling across process
+// lifetimes, engine elision accounting, and detection equivalence over a
+// corpus slice with the cache on vs off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "attacks/corpus.h"
+#include "attacks/guest_common.h"
+#include "core/engine.h"
+#include "farm/farm.h"
+#include "farm/results.h"
+#include "os/machine.h"
+#include "os/runtime.h"
+#include "vm/assembler.h"
+#include "vm/btcache.h"
+#include "vm/cpu.h"
+#include "vm/mmu.h"
+#include "vm/phys_mem.h"
+
+namespace faros {
+namespace {
+
+using vm::AddressSpace;
+using vm::Assembler;
+using vm::CpuState;
+using vm::FrameAllocator;
+using vm::Instruction;
+using vm::Interpreter;
+using vm::Opcode;
+using vm::PhysMem;
+using vm::StepInfo;
+using vm::StepResult;
+using vm::R1;
+using vm::R2;
+using vm::R3;
+using vm::R4;
+using vm::R5;
+using vm::SP;
+
+constexpr VAddr kCodeBase = 0x10000;
+constexpr VAddr kStackTop = 0x80000;
+constexpr VAddr kDataBase = 0x40000;
+
+struct CpuEnv {
+  PhysMem mem{1u << 20};
+  FrameAllocator frames{0};
+  AddressSpace as;
+  Interpreter interp{mem};
+  CpuState cpu;
+
+  explicit CpuEnv(bool block_cache = true) : frames(mem.num_frames()) {
+    interp.set_block_cache_enabled(block_cache);
+    frames.reserve(0);
+    as = AddressSpace::create(mem, frames).value();
+    EXPECT_TRUE(
+        as.map_alloc(kStackTop - 0x2000, 0x2000, vm::kPteUser | vm::kPteWrite)
+            .ok());
+    EXPECT_TRUE(
+        as.map_alloc(kDataBase, 0x1000, vm::kPteUser | vm::kPteWrite).ok());
+    cpu.regs[SP] = kStackTop - 16;
+  }
+
+  void load(const Assembler& a, VAddr base = kCodeBase) {
+    auto blob = a.assemble(base);
+    ASSERT_TRUE(blob.ok()) << blob.error().message;
+    ASSERT_TRUE(as.map_alloc(base, static_cast<u32>(blob.value().size()),
+                             vm::kPteUser | vm::kPteWrite | vm::kPteExec)
+                    .ok());
+    ASSERT_TRUE(as.copy_in(base, blob.value(), false).ok());
+    cpu.set_pc(base);
+  }
+
+  StepInfo run(u64 budget = 100000) { return interp.run(cpu, as, budget); }
+};
+
+TEST(BtCacheIsa, TaintInertClassificationIsPinned) {
+  // Memory ops, stack ops, syscalls, lifecycle and trapping opcodes must
+  // never be elidable; pure register arithmetic and control flow must be.
+  for (Opcode op : {Opcode::kLd8, Opcode::kLd16, Opcode::kLd32, Opcode::kSt8,
+                    Opcode::kSt16, Opcode::kSt32, Opcode::kPush, Opcode::kPop,
+                    Opcode::kSyscall, Opcode::kHalt, Opcode::kBrk,
+                    Opcode::kDivu}) {
+    EXPECT_FALSE(vm::taint_inert(op)) << static_cast<u32>(op);
+  }
+  for (Opcode op : {Opcode::kNop, Opcode::kMovi, Opcode::kMov, Opcode::kAddPc,
+                    Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd,
+                    Opcode::kAddi, Opcode::kCmp, Opcode::kCmpi, Opcode::kJmp,
+                    Opcode::kJr, Opcode::kBeq, Opcode::kBne, Opcode::kCall,
+                    Opcode::kRet}) {
+    EXPECT_TRUE(vm::taint_inert(op)) << static_cast<u32>(op);
+  }
+}
+
+TEST(BtCache, LoopTranslatesOnceAndHitsThereafter) {
+  CpuEnv env;
+  Assembler a;
+  a.movi(R1, 0);
+  a.movi(R2, 500);
+  a.label("loop");
+  a.addi(R1, R1, 1);
+  a.cmp(R1, R2);
+  a.bne("loop");
+  a.halt();
+  env.load(a);
+  auto info = env.run();
+  EXPECT_EQ(info.result, StepResult::kHalt);
+  EXPECT_EQ(env.cpu.regs[R1], 500u);
+
+  const vm::BlockCache* btc = env.interp.block_cache();
+  ASSERT_NE(btc, nullptr);
+  // Two static blocks (entry, loop body); ~500 loop iterations must be
+  // cache hits, not retranslations.
+  EXPECT_LE(btc->stats().translated, 4u);
+  EXPECT_GE(btc->stats().hits, 490u);
+  EXPECT_EQ(btc->stats().evict_smc, 0u);
+}
+
+TEST(BtCache, CacheOffDisablesTheCacheEntirely) {
+  CpuEnv env(/*block_cache=*/false);
+  Assembler a;
+  a.movi(R1, 7);
+  a.halt();
+  env.load(a);
+  EXPECT_EQ(env.run().result, StepResult::kHalt);
+  EXPECT_EQ(env.interp.block_cache(), nullptr);
+}
+
+// A store that patches the immediate word of a *later* instruction in the
+// same basic block. Per-instruction fetch semantics require the patched
+// value to execute; the cached body must notice the eviction mid-block.
+void assemble_imm_patcher(Assembler& a) {
+  a.addpc_label(R1, "target");
+  a.movi(R2, 222);
+  a.st32(R1, 4, R2);  // imm32 lives at insn offset +4
+  a.label("target");
+  a.movi(R4, 111);
+  a.halt();
+}
+
+TEST(BtCache, GuestStorePatchesLaterInsnOfOwnBlock) {
+  for (bool cache : {true, false}) {
+    CpuEnv env(cache);
+    Assembler a;
+    assemble_imm_patcher(a);
+    env.load(a);
+    auto info = env.run();
+    EXPECT_EQ(info.result, StepResult::kHalt) << cache;
+    EXPECT_EQ(env.cpu.regs[R4], 222u) << cache;
+    if (cache) {
+      EXPECT_GE(env.interp.block_cache()->stats().evict_smc, 1u);
+    }
+  }
+}
+
+TEST(BtCache, GuestStoreRewritesLaterInsnIntoHalt) {
+  // Patching word0 to 0x00000001 turns the target movi into halt (op=0x01,
+  // rd=rs1=rs2=0); the following movi must never execute.
+  for (bool cache : {true, false}) {
+    CpuEnv env(cache);
+    Assembler a;
+    a.addpc_label(R1, "target");
+    a.movi(R2, 1);
+    a.st32(R1, 0, R2);
+    a.label("target");
+    a.movi(R4, 111);  // becomes halt
+    a.movi(R5, 55);   // dead after the patch
+    a.halt();
+    env.load(a);
+    auto info = env.run();
+    EXPECT_EQ(info.result, StepResult::kHalt) << cache;
+    EXPECT_EQ(env.cpu.regs[R4], 0u) << cache;
+    EXPECT_EQ(env.cpu.regs[R5], 0u) << cache;
+  }
+}
+
+TEST(BtCache, HostWriteEvictsTranslatedFrameAndRetranslates) {
+  CpuEnv env;
+  Assembler a;
+  a.movi(R3, 5);
+  a.halt();
+  env.load(a);
+  EXPECT_EQ(env.run().result, StepResult::kHalt);
+  EXPECT_EQ(env.cpu.regs[R3], 5u);
+  const u64 translated_before = env.interp.block_cache()->stats().translated;
+
+  // Patch the immediate through the address space (lands via PhysMem::write,
+  // which must fire the code-write observer before the bytes change).
+  const u32 imm = 9;
+  std::vector<u8> word(4);
+  std::memcpy(word.data(), &imm, 4);
+  ASSERT_TRUE(env.as.copy_in(kCodeBase + 4, word, false).ok());
+
+  env.cpu.set_pc(kCodeBase);
+  EXPECT_EQ(env.run().result, StepResult::kHalt);
+  EXPECT_EQ(env.cpu.regs[R3], 9u);
+  const auto& st = env.interp.block_cache()->stats();
+  EXPECT_GE(st.evict_smc, 1u);
+  EXPECT_GT(st.translated, translated_before);
+}
+
+TEST(BtCache, RandomizedCodeWriteFuzzerMatchesUncachedReference) {
+  // Two interpreters run the same straight-line program under an identical
+  // interleaving of budget slices and random code patches; every
+  // architectural outcome must match the uncached reference exactly.
+  constexpr u32 kInsns = 64;
+  Assembler a;
+  for (u32 i = 0; i < kInsns; ++i) {
+    a.movi(static_cast<vm::Reg>(1 + (i % 8)), i);
+  }
+  a.halt();
+
+  CpuEnv cached(true), plain(false);
+  cached.load(a);
+  plain.load(a);
+
+  std::mt19937 rng(0xfa405u);
+  u64 executed = 0;
+  while (executed < kInsns) {
+    const u64 slice = 1 + rng() % 7;
+    auto ic = cached.run(slice);
+    auto ip = plain.run(slice);
+    ASSERT_EQ(ic.result, ip.result);
+    ASSERT_EQ(ic.executed, ip.executed);
+    executed += ic.executed;
+    if (ic.result == StepResult::kHalt) break;
+
+    // Patch the immediate of a random not-yet-executed instruction in both
+    // machines (8-byte slots; +4 is the imm32 word).
+    if (executed + 1 < kInsns) {
+      const u64 idx = executed + 1 + rng() % (kInsns - executed - 1);
+      const u32 imm = rng();
+      std::vector<u8> word(4);
+      std::memcpy(word.data(), &imm, 4);
+      ASSERT_TRUE(
+          cached.as.copy_in(kCodeBase + idx * vm::kInsnSize + 4, word, false)
+              .ok());
+      ASSERT_TRUE(
+          plain.as.copy_in(kCodeBase + idx * vm::kInsnSize + 4, word, false)
+              .ok());
+    }
+    for (u32 r = 0; r < vm::kNumRegs; ++r) {
+      ASSERT_EQ(cached.cpu.regs[r], plain.cpu.regs[r]) << "reg " << r;
+    }
+  }
+  for (u32 r = 0; r < vm::kNumRegs; ++r) {
+    EXPECT_EQ(cached.cpu.regs[r], plain.cpu.regs[r]) << "reg " << r;
+  }
+  EXPECT_EQ(cached.interp.instr_count(), plain.interp.instr_count());
+  EXPECT_GE(cached.interp.block_cache()->stats().evict_smc, 1u);
+}
+
+TEST(BtCache, BudgetClippedMidBlockResumesCorrectly) {
+  for (bool cache : {true, false}) {
+    CpuEnv env(cache);
+    Assembler a;
+    a.movi(R1, 1);
+    a.movi(R2, 2);
+    a.movi(R3, 3);
+    a.movi(R4, 4);
+    a.movi(R5, 5);
+    a.halt();
+    env.load(a);
+    auto first = env.run(/*budget=*/2);
+    EXPECT_EQ(first.result, StepResult::kBudget) << cache;
+    EXPECT_EQ(first.executed, 2u) << cache;
+    EXPECT_EQ(env.cpu.regs[R2], 2u) << cache;
+    EXPECT_EQ(env.cpu.regs[R3], 0u) << cache;
+    auto rest = env.run();
+    EXPECT_EQ(rest.result, StepResult::kHalt) << cache;
+    EXPECT_EQ(env.cpu.regs[R5], 5u) << cache;
+  }
+}
+
+TEST(BtCacheOs, ProcessExitEvictsItsBlocksAndCr3RecyclesSafely) {
+  os::Machine m;
+  ASSERT_TRUE(m.boot().ok());
+  auto spawn_exiter = [&](const std::string& name, u32 code) {
+    os::ImageBuilder ib(name, os::kUserImageBase);
+    ib.asm_().label("_start");
+    ib.asm_().movi(R1, 0);
+    ib.asm_().addi(R1, R1, 1);
+    attacks::emit_exit(ib.asm_(), code);
+    auto img = ib.build();
+    EXPECT_TRUE(img.ok());
+    std::string path = "C:/test/" + name;
+    m.kernel().vfs().create(path, img.value().serialize());
+    auto pid = m.kernel().spawn(path);
+    EXPECT_TRUE(pid.ok());
+    return pid.ok() ? pid.value() : 0;
+  };
+
+  // Same image base both times: the second spawn reuses the recycled frames
+  // (and possibly the CR3) of the first — stale translations would execute
+  // the wrong program.
+  os::Pid p1 = spawn_exiter("first.exe", 7);
+  m.run(200000);
+  ASSERT_EQ(m.kernel().find(p1)->exit_code, 7u);
+
+  os::Pid p2 = spawn_exiter("second.exe", 9);
+  m.run(200000);
+  ASSERT_EQ(m.kernel().find(p2)->exit_code, 9u);
+
+  const vm::BlockCache* btc = m.kernel().interp().block_cache();
+  ASSERT_NE(btc, nullptr);
+  EXPECT_GE(btc->stats().evict_cr3, 1u);
+  EXPECT_GE(btc->stats().translated, 2u);
+}
+
+// --- engine elision accounting -------------------------------------------
+
+u32 spawn_benign_loop(os::Machine& m) {
+  os::ImageBuilder ib("benign.exe", os::kUserImageBase);
+  Assembler& a = ib.asm_();
+  a.label("_start");
+  a.movi(R1, 0);
+  a.movi(R2, 2000);
+  a.label("loop");
+  a.addi(R1, R1, 1);
+  a.cmp(R1, R2);
+  a.bne("loop");
+  attacks::emit_exit(a, 0);
+  auto img = ib.build();
+  EXPECT_TRUE(img.ok());
+  m.kernel().vfs().create("C:/benign.exe", img.value().serialize());
+  auto pid = m.kernel().spawn("C:/benign.exe");
+  EXPECT_TRUE(pid.ok());
+  return pid.ok() ? pid.value() : 0;
+}
+
+obs::MetricSnapshot run_benign_with_engine(bool block_cache) {
+  os::MachineConfig mc;
+  mc.kernel.block_cache = block_cache;
+  os::Machine m(mc);
+  core::Options opts;
+  opts.block_cache = block_cache;
+  core::FarosEngine engine(m.kernel(), opts);
+  m.attach_cpu_plugin(&engine);
+  m.add_monitor(&engine);
+  EXPECT_TRUE(m.boot().ok());
+  spawn_benign_loop(m);
+  m.run(500000);
+  return engine.metrics_snapshot();
+}
+
+TEST(BtCacheEngine, ElisionKeepsEngineCountersExact) {
+  obs::MetricSnapshot on = run_benign_with_engine(true);
+  obs::MetricSnapshot off = run_benign_with_engine(false);
+
+  // The elided fast path must account for every skipped instruction: the
+  // deterministic counters (and so the verdict stream) are identical.
+  EXPECT_EQ(on[obs::Ctr::kInsnsRetired], off[obs::Ctr::kInsnsRetired]);
+  EXPECT_EQ(on[obs::Ctr::kTaintedFetches], off[obs::Ctr::kTaintedFetches]);
+  EXPECT_EQ(on[obs::Ctr::kPolicyEvals], off[obs::Ctr::kPolicyEvals]);
+
+  // The loop body is pure register arithmetic: elision must actually fire
+  // with the cache on and never without it.
+  EXPECT_GT(on[obs::Ctr::kBtElidedBlocks], 0u);
+  EXPECT_EQ(off[obs::Ctr::kBtElidedBlocks], 0u);
+}
+
+// --- detection equivalence over a corpus slice ---------------------------
+
+std::vector<farm::JobSpec> slice_jobs() {
+  std::vector<farm::JobSpec> jobs;
+  auto add = [&](const std::vector<attacks::CorpusEntry>& es, size_t max_n) {
+    for (size_t i = 0; i < es.size() && i < max_n; ++i) {
+      farm::JobSpec spec;
+      spec.name = es[i].name;
+      spec.category = es[i].category;
+      spec.expect_flagged = es[i].expect_flagged;
+      spec.make = es[i].make;
+      jobs.push_back(std::move(spec));
+    }
+  };
+  // All injections (the attacks the cache must not hide) plus JIT/SMC
+  // workloads (the payloads most hostile to the cache).
+  add(attacks::injection_corpus(), ~size_t{0});
+  add(attacks::jit_corpus(), 5);
+  return jobs;
+}
+
+TEST(BtCacheFarm, VerdictStreamIsByteIdenticalCacheOnVsOff) {
+  farm::FarmConfig on_cfg;
+  on_cfg.workers = 2;
+
+  farm::FarmConfig off_cfg;
+  off_cfg.workers = 1;
+  off_cfg.machine.kernel.block_cache = false;
+  off_cfg.engine_opts.block_cache = false;
+
+  auto on = farm::Farm(on_cfg).run(slice_jobs());
+  auto off = farm::Farm(off_cfg).run(slice_jobs());
+  ASSERT_EQ(on.results.size(), off.results.size());
+  for (size_t i = 0; i < on.results.size(); ++i) {
+    EXPECT_EQ(on.results[i].status, farm::JobStatus::kOk)
+        << on.results[i].name;
+    EXPECT_EQ(farm::job_jsonl(on.results[i]), farm::job_jsonl(off.results[i]))
+        << on.results[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace faros

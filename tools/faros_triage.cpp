@@ -54,6 +54,11 @@ void usage() {
                "  --out PATH       write JSONL records + summary to PATH\n"
                "  --metrics PATH   write per-job obs counter JSONL to PATH\n"
                "                   (or set FAROS_METRICS_JSON)\n"
+               "  --no-block-cache\n"
+               "                   disable the block-translation cache in\n"
+               "                   both machines and the engine's elision\n"
+               "                   fast path (detection verdicts are\n"
+               "                   byte-identical either way; CI pins this)\n"
                "  --static-prefilter\n"
                "                   run the zero-execution static analyzer\n"
                "                   (src/sa) per job before record/replay and\n"
@@ -106,6 +111,10 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
     else if (arg == "--policies" && i + 1 < argc) policies_path = argv[++i];
     else if (arg == "--graph-out" && i + 1 < argc) cfg.graph_out = argv[++i];
+    else if (arg == "--no-block-cache") {
+      cfg.machine.kernel.block_cache = false;
+      cfg.engine_opts.block_cache = false;
+    }
     else if (arg == "--static-prefilter") cfg.static_prefilter = true;
     else if (arg == "--list-policies") list_policies = true;
     else if (arg == "--list") list_only = true;
