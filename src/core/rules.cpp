@@ -258,6 +258,20 @@ Result<std::vector<RuleSpec>> parse_ruleset_json(std::string_view text) {
     }
     if (spec.id.empty()) return Err<Rules>(where + ": missing \"id\"");
     if (!jr.get("trigger")) return Err<Rules>(where + ": missing \"trigger\"");
+    // Count predicates compare against ProvStore Meta fields, which are u8
+    // and saturate at 255 (provenance.h): a threshold above that can never
+    // be met, so the rule would load fine and silently never fire. Reject
+    // at policy-load time, naming the rule.
+    for (const Predicate& p : spec.when) {
+      if ((p.kind == Predicate::Kind::kProcessCountGe ||
+           p.kind == Predicate::Kind::kDistinctNetflowsGe) &&
+          p.n > 255) {
+        return Err<Rules>(where + ": rule '" + spec.id + "': threshold " +
+                          std::to_string(p.n) + " in '" + predicate_str(p) +
+                          "' exceeds 255 (counts saturate at 255, so the "
+                          "predicate is unsatisfiable)");
+      }
+    }
     for (const RuleSpec& prev : out) {
       if (prev.id == spec.id) {
         return Err<Rules>(where + ": duplicate rule id '" + spec.id + "'");

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "graph/graph.h"
+#include "os/snapshot.h"
 #include "sa/analyzer.h"
 #include "vm/btcache.h"
 
@@ -84,7 +85,23 @@ void Farm::request_cancel() {
   queue_.cancel();
 }
 
-JobResult Farm::run_once(const JobSpec& spec) const {
+Result<os::MachineConfig> Farm::machine_config() const {
+  os::MachineConfig mcfg = cfg_.machine;
+  if (!cfg_.snapshot) return mcfg;
+  std::call_once(snap_once_, [this] {
+    auto s = os::capture_snapshot(cfg_.machine.kernel);
+    if (s.ok()) {
+      snap_ = s.value();
+    } else {
+      snap_error_ = s.error().message;
+    }
+  });
+  if (!snap_) return Err<os::MachineConfig>(snap_error_);
+  mcfg.kernel.snapshot = snap_;
+  return mcfg;
+}
+
+JobResult Farm::run_once(const JobSpec& spec, u32 attempt) const {
   JobResult r;
   r.id = spec.id;
   r.name = spec.name;
@@ -97,8 +114,19 @@ JobResult Farm::run_once(const JobSpec& spec) const {
     return r;
   };
 
+  // Deterministic failure injection (tests only): attempts below the
+  // threshold fail before any work, exercising the retry path identically
+  // on every worker.
+  if (attempt < spec.inject_failures) {
+    return fail("injected failure (attempt " + std::to_string(attempt) + ")");
+  }
+
   std::unique_ptr<attacks::Scenario> sc = spec.make ? spec.make() : nullptr;
   if (!sc) return fail("job has no scenario factory");
+
+  auto mc = machine_config();
+  if (!mc.ok()) return fail("snapshot: " + mc.error().message);
+  const os::MachineConfig& mcfg = mc.value();
 
   u64 budget = spec.budget_override ? spec.budget_override : sc->budget();
   u64 timeout_ms = spec.timeout_ms ? spec.timeout_ms : cfg_.timeout_ms;
@@ -121,7 +149,7 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   // --- static prefilter (zero-execution; never gates the dynamic run) ---
   if (cfg_.static_prefilter) {
     obs::ScopedTimer t(tsink, obs::Tmr::kStatic);
-    auto extracted = attacks::extract_images(*sc, cfg_.machine);
+    auto extracted = attacks::extract_images(*sc, mcfg);
     if (!extracted.ok()) {
       r.sa_error = extracted.error().message;
     } else {
@@ -142,7 +170,7 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   }
 
   // --- record (live run, no analysis plugins) ---
-  os::Machine rec(cfg_.machine);
+  os::Machine rec(mcfg);
   if (auto b = rec.boot(); !b.ok()) return fail("boot: " + b.error().message);
   auto source = sc->make_source();
   if (source) rec.set_event_source(source.get());
@@ -157,7 +185,7 @@ JobResult Farm::run_once(const JobSpec& spec) const {
   r.record_instructions = rec_stats.instructions;
 
   // --- replay under the FAROS engine ---
-  os::Machine rep(cfg_.machine);
+  os::Machine rep(mcfg);
   core::FarosEngine engine(rep.kernel(), cfg_.engine_opts);
   rep.attach_cpu_plugin(&engine);
   rep.add_monitor(&engine);
@@ -196,6 +224,19 @@ JobResult Farm::run_once(const JobSpec& spec) const {
           bs.evict_smc;
       r.metrics.counters[static_cast<u32>(obs::Ctr::kBtEvictCr3)] +=
           bs.evict_cr3;
+    }
+    // COW clone stats are plain u64s on PhysMem, like the block cache.
+    // Both machines count: record and replay each boot one clone, and both
+    // fault streams are pure functions of the spec (the replay retires the
+    // identical instruction sequence), so the fold stays deterministic.
+    for (os::Machine* m : {&rec, &rep}) {
+      const vm::PhysMem::CowStats& cs = m->kernel().phys_mem().cow_stats();
+      if (!cs.cow) continue;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kSnapClone)] += 1;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kCowFault)] +=
+          cs.cow_faults;
+      r.metrics.counters[static_cast<u32>(obs::Ctr::kSnapSharedPages)] +=
+          cs.shared_frames;
     }
   }
   r.replay_instructions = rep_stats.instructions;
@@ -243,14 +284,23 @@ JobResult Farm::run_once(const JobSpec& spec) const {
 
 JobResult Farm::run_job(const JobSpec& spec) const {
   auto t0 = Clock::now();
-  JobResult r = run_once(spec);
+  JobResult r = run_once(spec, 0);
   // One bounded retry per configured attempt, only for harness errors —
   // timeouts would time out again and cancellations must stay cancelled.
+  //
+  // Retry hygiene (audited for --metrics determinism): every attempt is a
+  // whole-cloth re-run — run_once builds a fresh JobResult, fresh record/
+  // replay machines, a fresh engine and a fresh local timer sink, and the
+  // assignment below discards the aborted attempt's object entirely. No
+  // counter or timer from a failed attempt can leak into the result the
+  // farm emits; only `retries` (set here) and wall_ms (deliberately wall-
+  // clock, excluded from deterministic streams) reflect that a retry
+  // happened. The injected-retry test pins this across worker counts.
   for (u32 attempt = 0;
        attempt < cfg_.retries && r.status == JobStatus::kError &&
        !cancel_.load(std::memory_order_relaxed);
        ++attempt) {
-    r = run_once(spec);
+    r = run_once(spec, attempt + 1);
     r.retries = attempt + 1;
   }
   r.wall_ms =

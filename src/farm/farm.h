@@ -30,6 +30,10 @@
 #include "farm/job.h"
 #include "farm/queue.h"
 
+namespace faros::os {
+struct Snapshot;  // os/snapshot.h
+}
+
 namespace faros::farm {
 
 struct FarmConfig {
@@ -51,6 +55,13 @@ struct FarmConfig {
   /// the JobSpec — byte-identical for any worker count. The directory is
   /// created on demand.
   std::string graph_out;
+  /// Boot the guest once, freeze it, and run every job's record and replay
+  /// machines as copy-on-write clones of the frozen image (os/snapshot.h).
+  /// Purely a throughput lever: verdicts are byte-identical to cold-boot
+  /// (the CI snapshot-equivalence gate pins this over the full corpus).
+  /// The snapshot is captured lazily on the first job and shared read-only
+  /// across workers.
+  bool snapshot = true;
   /// Engine options applied to every job's replay.
   core::Options engine_opts;
   /// Per-machine config for record and replay.
@@ -109,12 +120,23 @@ class Farm {
 
  private:
   void worker_main();
-  JobResult run_once(const JobSpec& spec) const;
+  /// One attempt at a job (`attempt` is 0 for the first run, >0 for
+  /// retries — used only by the deterministic failure-injection hook).
+  JobResult run_once(const JobSpec& spec, u32 attempt) const;
+  /// Machine config for this run: cfg_.machine, plus the shared booted-
+  /// guest snapshot when cloning is on (captured once, under snap_once_).
+  Result<os::MachineConfig> machine_config() const;
   void deliver(JobResult r);
 
   FarmConfig cfg_;
   JobQueue queue_;
   std::atomic<bool> cancel_{false};
+
+  // Lazily captured snapshot (shared read-only by every worker; mutable
+  // because run_once is const and the first job triggers the capture).
+  mutable std::once_flag snap_once_;
+  mutable std::shared_ptr<const os::Snapshot> snap_;
+  mutable std::string snap_error_;
 
   std::mutex emit_mu_;
   std::map<u32, JobResult> reorder_;  // completed, waiting for in-order emit

@@ -27,6 +27,12 @@ struct JobSpec {
 
   u64 budget_override = 0;  // 0 = use Scenario::budget()
   u64 timeout_ms = 0;       // 0 = farm default
+
+  /// Testing hook: run attempts numbered below this fail deterministically
+  /// before any work ("injected failure"), so the retry path can be
+  /// exercised identically on every worker. 0 (the default) injects
+  /// nothing; 1 makes the first attempt fail and the first retry succeed.
+  u32 inject_failures = 0;
 };
 
 /// What terminated the job. `kOk` covers both clean and flagged runs —

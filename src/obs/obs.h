@@ -107,6 +107,12 @@ enum class Ctr : u32 {
   kBtElidedBlocks,  // inert blocks the engine ran uninstrumented
   kBtGuardFail,     // elision declined (tainted regs / bound fetch rules)
 
+  // --- snapshot/COW guest cloning (os/snapshot.h; farm clone-per-job) ---
+  kSnapClone,        // machines booted from the shared snapshot (2 per
+                     // job with cloning on: record + replay)
+  kCowFault,         // frames copied private on first write, both machines
+  kSnapSharedPages,  // frames still snapshot-backed when the job finished
+
   kCount,
 };
 

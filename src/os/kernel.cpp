@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "os/runtime.h"
+#include "os/snapshot.h"
 
 namespace faros::os {
 
@@ -17,11 +18,19 @@ using vm::kPteWrite;
 
 namespace {
 constexpr u32 kDefaultGuestIp = 0xa9fe39a8;  // 169.254.57.168 (Table II)
+
+/// A snapshot clone runs copy-on-write over the frozen RAM image; a cold
+/// kernel owns flat zeroed RAM (guaranteed copy elision constructs mem_
+/// in place either way).
+vm::PhysMem make_phys(const KernelConfig& cfg) {
+  if (cfg.snapshot) return vm::PhysMem(cfg.snapshot->ram);
+  return vm::PhysMem(cfg.ram_bytes);
+}
 }  // namespace
 
 Kernel::Kernel(const KernelConfig& cfg)
     : cfg_(cfg),
-      mem_(cfg.ram_bytes),
+      mem_(make_phys(cfg)),
       frames_(mem_.num_frames()),
       interp_(mem_),
       net_(cfg.guest_ip ? cfg.guest_ip : kDefaultGuestIp),
@@ -40,6 +49,8 @@ Kernel::Kernel(const KernelConfig& cfg)
 Kernel::~Kernel() = default;
 
 Result<void> Kernel::boot() {
+  if (cfg_.snapshot) return boot_from_snapshot(*cfg_.snapshot);
+
   auto as = AddressSpace::create(mem_, frames_);
   if (!as.ok()) return Err<void>(as.error().message);
   kernel_as_ = as.value();
@@ -72,6 +83,26 @@ Result<void> Kernel::boot() {
   if (!r.ok()) return r;
 
   booted_ = true;
+  return Ok();
+}
+
+Result<void> Kernel::boot_from_snapshot(const Snapshot& snap) {
+  // The image is only valid for the exact config it was captured from; a
+  // mismatched clone would run against silently wrong memory contents.
+  if (snap.ram_bytes != cfg_.ram_bytes || snap.guest_ip != cfg_.guest_ip ||
+      snap.rng_seed != cfg_.rng_seed) {
+    return Err<void>("snapshot: config mismatch with captured image");
+  }
+  frames_.restore(snap.frames);
+  kernel_as_ = AddressSpace::adopt(mem_, frames_, snap.kernel_cr3);
+  modules_ = snap.modules;
+  booted_ = true;
+  // Re-publish the boot-time module events in load order: monitors attach
+  // before boot() (the farm's replay setup), and a cold boot is exactly
+  // "no guest instructions + one on_module_loaded per runtime module", so
+  // replaying that sequence reconstructs identical monitor state (export-
+  // table tags included).
+  for (const auto& m : modules_) monitors_.on_module_loaded(m, kernel_as_);
   return Ok();
 }
 

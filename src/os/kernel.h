@@ -28,12 +28,19 @@
 
 namespace faros::os {
 
+struct Snapshot;  // os/snapshot.h
+
 struct KernelConfig {
   u32 ram_bytes = 64u << 20;
   u32 guest_ip = 0;     // 0 -> default 169.254.57.168
   u64 rng_seed = 1;     // NtGetRandom stream (deterministic)
   u32 max_debug_lines = 4096;
   bool block_cache = true;  // block-translation cache (vm/btcache.h)
+  /// When set, boot() restores this frozen booted-guest image (COW over
+  /// its RAM) instead of building the kernel state from scratch; see
+  /// os/snapshot.h for the determinism contract. The config must match
+  /// the one the snapshot was captured from.
+  std::shared_ptr<const Snapshot> snapshot;
 };
 
 /// OSI query surface (what PANDA's OSI plugin exposes): FAROS resolves the
@@ -63,6 +70,8 @@ class Kernel : public OsiQuery {
   osi::MonitorBus& monitors() { return monitors_; }
   vm::Interpreter& interp() { return interp_; }
   vm::PhysMem& phys_mem() { return mem_; }
+  const vm::PhysMem& phys_mem() const { return mem_; }
+  const vm::FrameAllocator& frame_alloc() const { return frames_; }
   const vm::AddressSpace& kernel_as() const { return kernel_as_; }
   const std::vector<osi::ModuleInfo>& modules() const { return modules_; }
 
@@ -107,6 +116,7 @@ class Kernel : public OsiQuery {
   u64 syscall_count() const { return syscall_count_; }
 
  private:
+  Result<void> boot_from_snapshot(const Snapshot& snap);
   Result<void> load_module(const Image& img);
   Result<void> map_and_copy(vm::AddressSpace& as, VAddr base, ByteSpan blob,
                             u32 final_flags);

@@ -7,9 +7,55 @@
 
 namespace faros::vm {
 
-PhysMem::PhysMem(u32 size_bytes)
-    : ram_(page_ceil(size_bytes), 0), watched_(num_frames(), 0) {
+PhysMem::PhysMem(u32 size_bytes) : ram_(page_ceil(size_bytes), 0) {
   assert(size_bytes > 0);
+  size_ = static_cast<u32>(ram_.size());
+  const u32 nf = num_frames();
+  rtab_.resize(nf);
+  wtab_.resize(nf);
+  for (u32 f = 0; f < nf; ++f) {
+    u8* p = ram_.data() + (static_cast<size_t>(f) << kPageShift);
+    rtab_[f] = p;
+    wtab_[f] = p;
+  }
+  watched_.assign(nf, 0);
+}
+
+PhysMem::PhysMem(std::shared_ptr<const MemImage> base)
+    : base_(std::move(base)) {
+  assert(base_ && !base_->ram.empty() &&
+         base_->ram.size() % kPageSize == 0);
+  size_ = base_->size();
+  const u32 nf = num_frames();
+  rtab_.resize(nf);
+  wtab_.assign(nf, nullptr);
+  for (u32 f = 0; f < nf; ++f) {
+    rtab_[f] = base_->ram.data() + (static_cast<size_t>(f) << kPageShift);
+  }
+  watched_.assign(nf, 0);
+  stats_.cow = true;
+  stats_.shared_frames = nf;
+}
+
+u8* PhysMem::arena_alloc() {
+  if (arena_used_ == kFramesPerChunk) {
+    arena_.push_back(
+        std::make_unique<u8[]>(static_cast<size_t>(kFramesPerChunk) *
+                               kPageSize));
+    arena_used_ = 0;
+  }
+  return arena_.back().get() +
+         static_cast<size_t>(arena_used_++) * kPageSize;
+}
+
+u8* PhysMem::cow_fault(u64 frame) {
+  u8* p = arena_alloc();
+  std::memcpy(p, rtab_[frame], kPageSize);
+  rtab_[frame] = p;
+  wtab_[frame] = p;
+  ++stats_.cow_faults;
+  --stats_.shared_frames;
+  return p;
 }
 
 void PhysMem::notify_code_write(PAddr pa, u32 len) {
@@ -19,12 +65,15 @@ void PhysMem::notify_code_write(PAddr pa, u32 len) {
   for (u64 f = first; f <= last; ++f) {
     const u32 w = watched_[f];
     if (!w) continue;
-    // Clip the write to this frame and test against the watched range.
+    // Clip the write to this frame and test against the watched range
+    // (hi is stored biased by +1; see watch_frame).
+    const u32 w_lo = w >> 16;
+    const u32 w_hi = (w & 0xffffu) - 1;
     const u32 frame_lo = static_cast<u32>(
         std::max<u64>(pa, f << kPageShift) - (f << kPageShift));
     const u32 frame_hi = static_cast<u32>(
         std::min<u64>(pa + len, (f + 1) << kPageShift) - (f << kPageShift));
-    if (frame_lo < (w & 0xffffu) && (w >> 16) < frame_hi) {
+    if (frame_lo < w_hi && w_lo < frame_hi) {
       on_code_write_(pa, len);
       return;
     }
@@ -33,25 +82,38 @@ void PhysMem::notify_code_write(PAddr pa, u32 len) {
 
 u8 PhysMem::read8(PAddr pa) const {
   assert(contains(pa, 1));
-  return ram_[pa];
+  return rtab_[pa >> kPageShift][page_offset(static_cast<u32>(pa))];
 }
 
 u16 PhysMem::read16(PAddr pa) const {
   assert(contains(pa, 2));
-  return static_cast<u16>(ram_[pa]) | (static_cast<u16>(ram_[pa + 1]) << 8);
+  const u32 off = page_offset(static_cast<u32>(pa));
+  if (off <= kPageSize - 2) {
+    const u8* p = rtab_[pa >> kPageShift] + off;
+    return static_cast<u16>(p[0]) | (static_cast<u16>(p[1]) << 8);
+  }
+  return static_cast<u16>(read8(pa)) |
+         (static_cast<u16>(read8(pa + 1)) << 8);
 }
 
 u32 PhysMem::read32(PAddr pa) const {
   assert(contains(pa, 4));
-  return static_cast<u32>(ram_[pa]) | (static_cast<u32>(ram_[pa + 1]) << 8) |
-         (static_cast<u32>(ram_[pa + 2]) << 16) |
-         (static_cast<u32>(ram_[pa + 3]) << 24);
+  const u32 off = page_offset(static_cast<u32>(pa));
+  if (off <= kPageSize - 4) {
+    const u8* p = rtab_[pa >> kPageShift] + off;
+    return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+           (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+  }
+  return static_cast<u32>(read8(pa)) |
+         (static_cast<u32>(read8(pa + 1)) << 8) |
+         (static_cast<u32>(read8(pa + 2)) << 16) |
+         (static_cast<u32>(read8(pa + 3)) << 24);
 }
 
 void PhysMem::write8(PAddr pa, u8 v) {
   assert(contains(pa, 1));
   if (watched_[pa >> kPageShift]) notify_code_write(pa, 1);
-  ram_[pa] = v;
+  store8(pa, v);
 }
 
 void PhysMem::write16(PAddr pa, u16 v) {
@@ -59,8 +121,8 @@ void PhysMem::write16(PAddr pa, u16 v) {
   if (watched_[pa >> kPageShift] | watched_[(pa + 1) >> kPageShift]) {
     notify_code_write(pa, 2);
   }
-  ram_[pa] = static_cast<u8>(v & 0xff);
-  ram_[pa + 1] = static_cast<u8>(v >> 8);
+  store8(pa, static_cast<u8>(v & 0xff));
+  store8(pa + 1, static_cast<u8>(v >> 8));
 }
 
 void PhysMem::write32(PAddr pa, u32 v) {
@@ -68,26 +130,55 @@ void PhysMem::write32(PAddr pa, u32 v) {
   if (watched_[pa >> kPageShift] | watched_[(pa + 3) >> kPageShift]) {
     notify_code_write(pa, 4);
   }
-  ram_[pa] = static_cast<u8>(v & 0xff);
-  ram_[pa + 1] = static_cast<u8>((v >> 8) & 0xff);
-  ram_[pa + 2] = static_cast<u8>((v >> 16) & 0xff);
-  ram_[pa + 3] = static_cast<u8>((v >> 24) & 0xff);
+  store8(pa, static_cast<u8>(v & 0xff));
+  store8(pa + 1, static_cast<u8>((v >> 8) & 0xff));
+  store8(pa + 2, static_cast<u8>((v >> 16) & 0xff));
+  store8(pa + 3, static_cast<u8>((v >> 24) & 0xff));
 }
 
 void PhysMem::read(PAddr pa, MutByteSpan out) const {
   assert(contains(pa, static_cast<u32>(out.size())));
-  std::memcpy(out.data(), ram_.data() + pa, out.size());
+  size_t done = 0;
+  while (done < out.size()) {
+    const PAddr cur = pa + done;
+    const u32 off = page_offset(static_cast<u32>(cur));
+    const size_t n = std::min<size_t>(out.size() - done, kPageSize - off);
+    std::memcpy(out.data() + done, rtab_[cur >> kPageShift] + off, n);
+    done += n;
+  }
 }
 
 void PhysMem::write(PAddr pa, ByteSpan data) {
   assert(contains(pa, static_cast<u32>(data.size())));
   if (!data.empty()) notify_code_write(pa, static_cast<u32>(data.size()));
-  std::memcpy(ram_.data() + pa, data.data(), data.size());
+  size_t done = 0;
+  while (done < data.size()) {
+    const PAddr cur = pa + done;
+    const u64 f = cur >> kPageShift;
+    const u32 off = page_offset(static_cast<u32>(cur));
+    const size_t n = std::min<size_t>(data.size() - done, kPageSize - off);
+    u8* p = wtab_[f];
+    if (!p) p = cow_fault(f);
+    std::memcpy(p + off, data.data() + done, n);
+    done += n;
+  }
 }
 
 ByteSpan PhysMem::span(PAddr pa, u32 len) const {
   assert(contains(pa, len));
-  return ByteSpan(ram_.data() + pa, len);
+  const u64 f = pa >> kPageShift;
+  assert(len == 0 || ((pa + len - 1) >> kPageShift) == f);
+  return ByteSpan(rtab_[f] + page_offset(static_cast<u32>(pa)), len);
+}
+
+std::shared_ptr<const MemImage> PhysMem::freeze() const {
+  auto img = std::make_shared<MemImage>();
+  img->ram.resize(size_);
+  for (u32 f = 0; f < num_frames(); ++f) {
+    std::memcpy(img->ram.data() + (static_cast<size_t>(f) << kPageShift),
+                rtab_[f], kPageSize);
+  }
+  return img;
 }
 
 FrameAllocator::FrameAllocator(u32 num_frames)

@@ -1,10 +1,19 @@
 // Guest physical memory plus a simple frame allocator. Physical addresses
 // are the canonical key for the DIFT shadow memory, exactly as in
 // PANDA's taint2.
+//
+// Two backing modes share one access path (a per-frame pointer table):
+//  * owned — flat zeroed RAM, as a cold-booted machine sees it;
+//  * copy-on-write clone — every frame initially aliases an immutable
+//    MemImage (a frozen post-boot snapshot, see os/snapshot.h); the first
+//    write to a frame faults it into private arena storage. Clones never
+//    touch the shared image, so any number of farm jobs can run against
+//    one booted-guest snapshot concurrently.
 #pragma once
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "common/result.h"
 #include "common/types.h"
@@ -20,7 +29,15 @@ constexpr u32 page_ceil(u32 addr) {
   return (addr + kPageSize - 1) & ~(kPageSize - 1);
 }
 
-/// Flat guest RAM. All reads/writes are bounds checked; the VM never maps
+/// Immutable frozen RAM image, shared read-only between the snapshot and
+/// every clone built over it. Page-aligned; held alive by shared_ptr for
+/// as long as any clone exists.
+struct MemImage {
+  Bytes ram;
+  u32 size() const { return static_cast<u32>(ram.size()); }
+};
+
+/// Guest RAM. All reads/writes are bounds checked; the VM never maps
 /// beyond the configured size.
 class PhysMem {
  public:
@@ -32,10 +49,30 @@ class PhysMem {
   /// thrash the cache); unwatched frames pay one flag load per store.
   using CodeWriteObserver = std::function<void(PAddr pa, u32 len)>;
 
-  explicit PhysMem(u32 size_bytes);
+  /// Copy-on-write statistics. Plain counters: src/vm keeps no obs
+  /// dependency, so the farm folds these into the metrics stream the same
+  /// way it folds BlockCacheStats.
+  struct CowStats {
+    bool cow = false;        // constructed as a snapshot clone
+    u64 cow_faults = 0;      // private frame copies on first write
+    u64 shared_frames = 0;   // frames still backed by the snapshot image
+  };
 
-  u32 size() const { return static_cast<u32>(ram_.size()); }
-  u32 num_frames() const { return size() / kPageSize; }
+  /// Owned mode: flat zeroed RAM (cold boot).
+  explicit PhysMem(u32 size_bytes);
+  /// COW mode: every frame aliases `base` until first write.
+  explicit PhysMem(std::shared_ptr<const MemImage> base);
+
+  // rtab_/wtab_ hold raw pointers into ram_ / the arena; a copy would
+  // alias another instance's storage. Moves are fine (vector buffers are
+  // stable across moves).
+  PhysMem(const PhysMem&) = delete;
+  PhysMem& operator=(const PhysMem&) = delete;
+  PhysMem(PhysMem&&) = default;
+  PhysMem& operator=(PhysMem&&) = default;
+
+  u32 size() const { return size_; }
+  u32 num_frames() const { return size_ / kPageSize; }
 
   u8 read8(PAddr pa) const;
   u16 read16(PAddr pa) const;
@@ -49,10 +86,20 @@ class PhysMem {
   void write(PAddr pa, ByteSpan data);
 
   bool contains(PAddr pa, u32 len = 1) const {
-    return pa + len <= ram_.size() && pa + len >= pa;
+    return pa + len <= size_ && pa + len >= pa;
   }
 
+  /// Zero-copy view of [pa, pa+len). The range must stay within one frame
+  /// (frames are not contiguous in COW mode); the only caller is the
+  /// instruction decoder, whose 8-byte-aligned fetches never cross.
   ByteSpan span(PAddr pa, u32 len) const;
+
+  /// Materialises the full RAM contents as an immutable image (one copy).
+  /// Works in either mode; os::capture_snapshot uses it to freeze a
+  /// freshly booted guest.
+  std::shared_ptr<const MemImage> freeze() const;
+
+  const CowStats& cow_stats() const { return stats_; }
 
   void set_code_write_observer(CodeWriteObserver obs) {
     on_code_write_ = std::move(obs);
@@ -66,9 +113,13 @@ class PhysMem {
     u32& w = watched_[frame_base >> kPageShift];
     if (w) {
       lo = std::min(lo, w >> 16);
-      hi = std::max(hi, w & 0xffffu);
+      hi = std::max(hi, (w & 0xffffu) - 1);
     }
-    w = (lo << 16) | hi;
+    // hi is stored biased by +1 so no real range packs to the 0
+    // "unwatched" sentinel (a watch with lo == 0 has zero high bits, and
+    // an unbiased hi could make the whole word 0 — silently dropping an
+    // SMC watch on byte 0 of a frame).
+    w = (lo << 16) | (hi + 1);
   }
   void unwatch_frame(PAddr frame_base) {
     watched_[frame_base >> kPageShift] = 0;
@@ -82,9 +133,36 @@ class PhysMem {
   /// the write overlaps at least one frame's watched byte range.
   void notify_code_write(PAddr pa, u32 len);
 
-  Bytes ram_;
-  // One packed watch range per frame: 0 = unwatched, else (lo << 16) | hi
-  // byte offsets (hi exclusive, <= kPageSize).
+  /// First write to a shared frame: copy it into private arena storage.
+  u8* cow_fault(u64 frame);
+  u8* arena_alloc();
+
+  /// Store one byte without the watch check (callers notify once for the
+  /// whole access, matching the observer's [pa, pa+len) contract).
+  void store8(PAddr pa, u8 v) {
+    const u64 f = pa >> kPageShift;
+    u8* p = wtab_[f];
+    if (!p) p = cow_fault(f);
+    p[page_offset(static_cast<u32>(pa))] = v;
+  }
+
+  u32 size_ = 0;
+  Bytes ram_;  // owned mode backing; empty for COW clones
+  std::shared_ptr<const MemImage> base_;  // COW mode backing; null when owned
+  // Per-frame pointers: rtab_ is where reads resolve (shared image or
+  // private copy); wtab_ is null while the frame is still shared — a write
+  // through a null entry takes the COW fault. Owned mode fills both with
+  // pointers into ram_, so the hot paths are mode-free.
+  std::vector<const u8*> rtab_;
+  std::vector<u8*> wtab_;
+  // Private frame storage for COW faults, bump-allocated in chunks.
+  static constexpr u32 kFramesPerChunk = 64;
+  std::vector<std::unique_ptr<u8[]>> arena_;
+  u32 arena_used_ = kFramesPerChunk;
+  CowStats stats_;
+  // One packed watch range per frame: 0 = unwatched, else
+  // (lo << 16) | (hi + 1) byte offsets (hi exclusive, <= kPageSize; the +1
+  // bias keeps every real range distinct from the sentinel).
   std::vector<u32> watched_;
   CodeWriteObserver on_code_write_;
 };
@@ -96,6 +174,15 @@ class FrameAllocator {
   /// Observer invoked whenever a frame is freed. The FAROS shadow memory
   /// subscribes so stale taint never survives frame recycling.
   using FreeObserver = std::function<void(PAddr frame_base)>;
+
+  /// Value snapshot of the allocator (os/snapshot.h freezes one per boot
+  /// image; restore() puts a clone's allocator into the exact post-boot
+  /// state so frame allocation stays deterministic vs a cold boot).
+  struct State {
+    std::vector<bool> used;
+    u32 free_count = 0;
+    u32 search_hint = 0;
+  };
 
   explicit FrameAllocator(u32 num_frames);
 
@@ -112,6 +199,13 @@ class FrameAllocator {
 
   /// Marks a frame as permanently reserved (e.g. frame 0, boot structures).
   void reserve(PAddr frame_base);
+
+  State state() const { return State{used_, free_count_, search_hint_}; }
+  void restore(const State& s) {
+    used_ = s.used;
+    free_count_ = s.free_count;
+    search_hint_ = s.search_hint;
+  }
 
  private:
   std::vector<bool> used_;

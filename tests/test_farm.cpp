@@ -333,6 +333,67 @@ TEST(Farm, HarnessErrorRetriedOnceAndIsolated) {
   EXPECT_EQ(report.results[1].status, JobStatus::kOk);
 }
 
+TEST(Farm, InjectedRetrySucceedsWithUncontaminatedMetrics) {
+  // A retried job's final result must be indistinguishable from a job that
+  // succeeded first try (aside from the retries count): every counter and
+  // timer from the aborted attempt is discarded with that attempt's
+  // JobResult, never folded into the retry's.
+  FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.retries = 1;
+  cfg.engine_opts.collect_metrics = true;
+  Farm f(cfg);
+
+  JobSpec clean = tiny_job("twin");
+  JobSpec flaky = tiny_job("twin");
+  flaky.inject_failures = 1;  // first attempt fails, retry succeeds
+
+  JobResult cr = f.run_job(clean);
+  JobResult fr = f.run_job(flaky);
+  ASSERT_EQ(cr.status, JobStatus::kOk);
+  ASSERT_EQ(fr.status, JobStatus::kOk);
+  EXPECT_EQ(cr.retries, 0u);
+  EXPECT_EQ(fr.retries, 1u);
+
+  // Byte-identical modulo the retries field.
+  JobResult normalized = fr;
+  normalized.retries = 0;
+  EXPECT_EQ(farm::job_jsonl(normalized), farm::job_jsonl(cr));
+  EXPECT_EQ(farm::job_metrics_jsonl(normalized), farm::job_metrics_jsonl(cr));
+}
+
+TEST(Farm, InjectedRetriesAreDeterministicAcrossWorkerCounts) {
+  auto make_jobs = [] {
+    std::vector<JobSpec> jobs;
+    for (int i = 0; i < 6; ++i) {
+      JobSpec spec = tiny_job("flaky" + std::to_string(i));
+      spec.inject_failures = (i % 2) ? 1u : 0u;  // alternate clean / retried
+      jobs.push_back(std::move(spec));
+    }
+    // Exhausting the retry budget must fail deterministically too.
+    JobSpec dead = tiny_job("dead");
+    dead.inject_failures = 2;
+    jobs.push_back(std::move(dead));
+    return jobs;
+  };
+
+  FarmConfig c1;
+  c1.workers = 1;
+  FarmConfig c3;
+  c3.workers = 3;
+  auto r1 = Farm(c1).run(make_jobs());
+  auto r3 = Farm(c3).run(make_jobs());
+  ASSERT_EQ(r1.results.size(), 7u);
+  ASSERT_EQ(r3.results.size(), 7u);
+  for (size_t i = 0; i < r1.results.size(); ++i) {
+    EXPECT_EQ(farm::job_jsonl(r1.results[i]), farm::job_jsonl(r3.results[i]))
+        << r1.results[i].name;
+  }
+  EXPECT_EQ(r1.results[1].retries, 1u);  // flaky1 used its retry
+  EXPECT_EQ(r1.results[6].status, JobStatus::kError);  // dead exhausted it
+  EXPECT_NE(r1.results[6].error.find("injected failure"), std::string::npos);
+}
+
 TEST(Farm, ResultsStreamInStableIdOrder) {
   FarmConfig cfg;
   cfg.workers = 4;

@@ -230,6 +230,56 @@ TEST(GraphFormat, DeserializeRejectsGarbage) {
   EXPECT_FALSE(graph::deserialize(ByteSpan(empty.data(), 0)).ok());
 }
 
+TEST(GraphFormat, DeserializeRejectsEveryTruncationCleanly) {
+  // An FPG1 file carries no trailing padding: every strict prefix is
+  // missing data and must come back as a clean error — never a crash, an
+  // over-allocation, or a silently short graph.
+  attacks::ThreadHijackScenario sc;
+  Analyzed a = analyze_graph(sc);
+  ASSERT_TRUE(a.ok);
+  Bytes bytes = graph::serialize(a.g);
+  ASSERT_GT(bytes.size(), 64u);
+
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto r = graph::deserialize(ByteSpan(bytes.data(), len));
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " of " << bytes.size()
+                         << " bytes parsed as a graph";
+    if (r.ok()) break;
+  }
+}
+
+TEST(GraphFormat, DeserializeSurvivesDeterministicBitFlips) {
+  // Single-bit corruption anywhere in the file must either parse (a flip
+  // inside string payload or node payload words can be benign) or fail
+  // with an error — the ASan job runs this, so any out-of-bounds read or
+  // unchecked allocation provoked by a corrupt count surfaces here.
+  attacks::ThreadHijackScenario sc;
+  Analyzed a = analyze_graph(sc);
+  ASSERT_TRUE(a.ok);
+  const Bytes bytes = graph::serialize(a.g);
+  ASSERT_FALSE(bytes.empty());
+
+  u64 lcg = 0x243f6a8885a308d3ull;  // fixed seed: the corpus is deterministic
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 16;
+  };
+  size_t rejected = 0;
+  for (int i = 0; i < 512; ++i) {
+    Bytes mut = bytes;
+    const size_t pos = static_cast<size_t>(next() % mut.size());
+    mut[pos] ^= static_cast<u8>(1u << (next() % 8));
+    auto r = graph::deserialize(ByteSpan(mut.data(), mut.size()));
+    if (!r.ok()) {
+      ++rejected;
+      EXPECT_FALSE(r.error().message.empty());
+    }
+  }
+  // Flips in the magic, counts, string ids or edge endpoints are fatal, so
+  // a healthy validator rejects a solid share of them.
+  EXPECT_GT(rejected, 0u);
+}
+
 TEST(GraphFormat, ParseNodeRefAcceptsCanonicalAndRejectsJunk) {
   auto ok = graph::parse_node_ref("finding:0");
   ASSERT_TRUE(ok.ok());
@@ -370,17 +420,19 @@ TEST(GraphRules, DistinctTagCountersSaturateAt255) {
   core::ProvListId pid = store.intern(procs);
   EXPECT_EQ(store.process_count(pid), 255u);
 
-  // At the grammar level both sides of the boundary still parse — the
-  // limitation is semantic (a >255 threshold is unsatisfiable), not
-  // syntactic, so existing policy files keep loading.
+  // The grammar enforces this boundary at load time: 255 (the saturation
+  // value, still reachable) parses, while a >255 threshold could never
+  // fire and is rejected with an error naming the rule instead of
+  // shipping a silently dead policy (see test_rules.cpp for the message
+  // contents).
   EXPECT_TRUE(core::parse_ruleset_json(
                   R"({"rules":[{"id":"edge","trigger":"tainted-load",
                       "action":"flag","when":["fetch distinct-netflows>=255"]}]})")
                   .ok());
-  EXPECT_TRUE(core::parse_ruleset_json(
-                  R"({"rules":[{"id":"never","trigger":"tainted-load",
-                      "action":"flag","when":["fetch distinct-netflows>=300"]}]})")
-                  .ok());
+  EXPECT_FALSE(core::parse_ruleset_json(
+                   R"({"rules":[{"id":"never","trigger":"tainted-load",
+                       "action":"flag","when":["fetch distinct-netflows>=300"]}]})")
+                   .ok());
 }
 
 }  // namespace

@@ -198,6 +198,50 @@ TEST(RuleGrammar, RulesetParseErrors) {
   }
 }
 
+TEST(RuleGrammar, CountThresholdsAbove255RejectedAtLoadTime) {
+  // Provenance-list counts saturate at 255 (provenance.h), so a rule with
+  // process-count>=256 could never fire. Loading one must fail loudly —
+  // naming the rule — instead of shipping a silently dead policy.
+  const char* unsat_process = R"({
+  "rules": [
+    {
+      "id": "impossible-fanout",
+      "trigger": "tainted-load",
+      "when": ["fetch process-count>=256"]
+    }
+  ]
+})";
+  auto p = parse_ruleset_json(unsat_process);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().message.find("impossible-fanout"), std::string::npos);
+  EXPECT_NE(p.error().message.find("255"), std::string::npos);
+
+  const char* unsat_netflow = R"({
+  "rules": [
+    {
+      "id": "impossible-flows",
+      "trigger": "tainted-load",
+      "when": ["target distinct-netflows>=300"]
+    }
+  ]
+})";
+  auto q = parse_ruleset_json(unsat_netflow);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.error().message.find("impossible-flows"), std::string::npos);
+
+  // The saturation value itself is still reachable and must load.
+  const char* at_limit = R"({
+  "rules": [
+    {
+      "id": "at-the-limit",
+      "trigger": "tainted-load",
+      "when": ["fetch process-count>=255", "value distinct-netflows>=255"]
+    }
+  ]
+})";
+  EXPECT_TRUE(parse_ruleset_json(at_limit).ok());
+}
+
 TEST(ProvStoreMeta, NetflowCountIsDistinctNetflowTags) {
   ProvStore store;
   EXPECT_EQ(store.netflow_count(kEmptyProv), 0u);

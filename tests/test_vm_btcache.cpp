@@ -202,6 +202,68 @@ TEST(BtCache, HostWriteEvictsTranslatedFrameAndRetranslates) {
   EXPECT_GT(st.translated, translated_before);
 }
 
+TEST(PhysMemWatch, ByteZeroWatchIsDistinctFromUnwatchedSentinel) {
+  // Regression: the packed watch word used to encode a [0, hi) range with
+  // lo == 0 as plain `hi`, so watching the very start of a frame could
+  // collide with the 0 "unwatched" sentinel and silently drop the SMC
+  // watch. The +1 hi bias keeps every real range non-zero.
+  PhysMem mem{1u << 16};
+  std::vector<std::pair<PAddr, u32>> fires;
+  mem.set_code_write_observer(
+      [&](PAddr pa, u32 len) { fires.emplace_back(pa, len); });
+
+  mem.watch_frame(0, 0, 1);  // watch exactly byte 0
+  EXPECT_TRUE(mem.frame_watched(0));
+  mem.write8(0, 0xcc);
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0].first, 0u);
+  EXPECT_EQ(fires[0].second, 1u);
+
+  // Outside the watched range: no notification.
+  mem.write8(1, 0xcc);
+  EXPECT_EQ(fires.size(), 1u);
+
+  // Widening to the union keeps byte 0 covered and picks up the new tail.
+  mem.watch_frame(0, 8, 16);
+  mem.write8(0, 0xdd);
+  EXPECT_EQ(fires.size(), 2u);
+  mem.write8(15, 0xdd);
+  EXPECT_EQ(fires.size(), 3u);
+  mem.write8(16, 0xdd);  // hi is exclusive
+  EXPECT_EQ(fires.size(), 3u);
+
+  mem.unwatch_frame(0);
+  EXPECT_FALSE(mem.frame_watched(0));
+  mem.write8(0, 0xee);
+  EXPECT_EQ(fires.size(), 3u);
+}
+
+TEST(BtCache, GuestStorePatchesByteZeroOfOwnTranslatedBlock) {
+  // kCodeBase is page-aligned, so the block's first instruction starts at
+  // byte 0 of its frame — exactly the offset the old packed-watch encoding
+  // could lose. The program overwrites its own word 0 with halt (op 0x01)
+  // and jumps back; if the stale translation survived, re-entry would
+  // re-run the original movi and spin until the budget instead of halting.
+  for (bool cache : {true, false}) {
+    CpuEnv env(cache);
+    Assembler a;
+    a.label("start");
+    a.movi(R4, 999);  // byte 0 of the frame — rewritten into halt below
+    a.addpc_label(R1, "start");
+    a.movi(R2, 1);       // halt encoding, word 0
+    a.st32(R1, 0, R2);   // self-patch byte 0 of the executing block
+    a.movi(R4, 111);
+    a.jmp("start");
+    env.load(a);
+    auto info = env.run();
+    EXPECT_EQ(info.result, StepResult::kHalt) << cache;
+    EXPECT_EQ(env.cpu.regs[R4], 111u) << cache;
+    if (cache) {
+      EXPECT_GE(env.interp.block_cache()->stats().evict_smc, 1u);
+    }
+  }
+}
+
 TEST(BtCache, RandomizedCodeWriteFuzzerMatchesUncachedReference) {
   // Two interpreters run the same straight-line program under an identical
   // interleaving of budget slices and random code patches; every

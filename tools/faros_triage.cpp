@@ -59,6 +59,11 @@ void usage() {
                "                   both machines and the engine's elision\n"
                "                   fast path (detection verdicts are\n"
                "                   byte-identical either way; CI pins this)\n"
+               "  --snapshot / --no-snapshot\n"
+               "                   boot the guest once and run each job as a\n"
+               "                   copy-on-write clone of the frozen image\n"
+               "                   (default: on; verdicts are byte-identical\n"
+               "                   either way; CI pins this)\n"
                "  --static-prefilter\n"
                "                   run the zero-execution static analyzer\n"
                "                   (src/sa) per job before record/replay and\n"
@@ -115,6 +120,8 @@ int main(int argc, char** argv) {
       cfg.machine.kernel.block_cache = false;
       cfg.engine_opts.block_cache = false;
     }
+    else if (arg == "--snapshot") cfg.snapshot = true;
+    else if (arg == "--no-snapshot") cfg.snapshot = false;
     else if (arg == "--static-prefilter") cfg.static_prefilter = true;
     else if (arg == "--list-policies") list_policies = true;
     else if (arg == "--list") list_only = true;
