@@ -36,6 +36,7 @@
 #include "core/engine.h"
 #include "core/rules.h"
 #include "os/machine.h"
+#include "sa/analyzer.h"
 #include "vm/btcache.h"
 
 using namespace faros;
@@ -151,6 +152,39 @@ CopierInfo setup_copier(os::Machine& m) {
           os::kUserImageBase + ib.asm_().label_offset("buf").value()};
 }
 
+/// A compute workload whose hot block carries a constant-divisor kDivu:
+/// kDivu is excluded from vm::taint_inert (a zero divisor traps), so the
+/// block cache's per-opcode elision can never fast-path this loop — only
+/// the analyzer's context-free divisor proof (summary elide hints) can.
+/// The movi feeding the divisor sits in the same block, so the proof holds
+/// from any entry state.
+os::Image build_divspin_image() {
+  os::ImageBuilder ib("divspin.exe", os::kUserImageBase);
+  auto& a = ib.asm_();
+  a.label("_start");
+  a.movi(vm::R1, 0);
+  a.movi(vm::R2, 3);
+  a.label("loop");
+  a.mul(vm::R2, vm::R2, vm::R2);
+  a.addi(vm::R2, vm::R2, 7);
+  a.movi(vm::R7, 9);
+  a.divu(vm::R3, vm::R2, vm::R7);
+  a.addi(vm::R1, vm::R1, 1);
+  a.jmp("loop");
+  auto img = ib.build();
+  if (!img.ok()) {
+    std::fprintf(stderr, "FATAL: build divspin.exe: %s\n",
+                 img.error().message.c_str());
+    std::exit(1);
+  }
+  return img.value();
+}
+
+void setup_divspinner(os::Machine& m, const os::Image& img) {
+  m.kernel().vfs().create("C:/divspin.exe", img.serialize());
+  (void)m.kernel().spawn("C:/divspin.exe");
+}
+
 constexpr FlowTuple kBenchFlow{attacks::kAttackerIp, attacks::kAttackerPort,
                                0xa9fe39a8, 49162};
 
@@ -250,6 +284,10 @@ struct Regime {
   // their numbers stay comparable across releases; the _btc regimes measure
   // the cached interpreter with SA-guided elision.
   bool block_cache = false;
+  // The divspin workload (hot block with a constant-divisor kDivu) instead
+  // of the spinner; `hints` feeds the analyzer's elide hints to the engine.
+  bool divspin = false;
+  bool hints = false;
 };
 
 /// A ruleset binding every trigger with predicates that evaluate but never
@@ -289,6 +327,16 @@ RegimeRun run_regime(const Regime& r, u64 insns) {
     }
     opts.rules = std::move(rs).take();
   }
+  os::Image divspin_img;
+  if (r.divspin) {
+    divspin_img = build_divspin_image();
+    if (r.hints) {
+      sa::ImageReport ir = sa::analyze_image(divspin_img);
+      for (const sa::ElideHint& h : ir.elide_hints) {
+        opts.elide_hints[h.va].emplace_back(h.insns, h.hash);
+      }
+    }
+  }
   core::FarosEngine engine(m.kernel(), opts);
   if (r.attach_engine) {
     m.attach_cpu_plugin(&engine);
@@ -299,6 +347,8 @@ RegimeRun run_regime(const Regime& r, u64 insns) {
     CopierInfo copier = setup_copier(m);
     m.run(1000);
     if (r.attach_engine) taint_copier_buf(m, engine, copier);
+  } else if (r.divspin) {
+    setup_divspinner(m, divspin_img);
   } else {
     setup_spinner(m);
   }
@@ -369,12 +419,29 @@ bool emit_json_summary() {
        /*metrics=*/true, /*rules_json=*/nullptr, /*block_cache=*/true},
       {"interp_faros_tainted_copy_btc", true, false, true, /*metrics=*/true,
        /*rules_json=*/nullptr, /*block_cache=*/true},
+      // Summary elision: a hot block with a constant-divisor kDivu. The
+      // _inert row is the per-opcode-elision ceiling (the block can never
+      // be elided without summary facts); _hints feeds the analyzer's
+      // proof to the engine, so the same block runs uninstrumented. The
+      // gate requires strictly more elided-instruction coverage with
+      // hints than without.
+      {"interp_faros_divspin_btc_inert", true, false, false,
+       /*metrics=*/true, /*rules_json=*/nullptr, /*block_cache=*/true,
+       /*divspin=*/true, /*hints=*/false},
+      {"interp_faros_divspin_btc_hints", true, false, false,
+       /*metrics=*/true, /*rules_json=*/nullptr, /*block_cache=*/true,
+       /*divspin=*/true, /*hints=*/true},
   };
   std::map<std::string, double> ns_by_case;
+  std::map<std::string, u64> elided_by_case;
   for (const Regime& r : regimes) {
     RegimeRun run = run_regime(r, kInsns);
     const double s = run.seconds;
     ns_by_case[r.name] = s / static_cast<double>(kInsns) * 1e9;
+    if (run.metrics.collected) {
+      elided_by_case[r.name] =
+          run.metrics[obs::Ctr::kBtElidedInsns];
+    }
     JsonWriter rec;
     rec.field("case", r.name)
         .field("insns", kInsns)
@@ -411,6 +478,23 @@ bool emit_json_summary() {
                  "FAIL: block-cache overhead ceiling exceeded "
                  "(clean %.2fx, image-tainted %.2fx > %.1fx)\n",
                  clean_x, image_x, kCeiling);
+    return false;
+  }
+  // Summary-elision coverage gate: the divisor-proof hints must elide
+  // strictly more instructions than the per-opcode-inert baseline can on
+  // the same workload (the baseline cannot touch the divu block at all).
+  const u64 inert_elided = elided_by_case["interp_faros_divspin_btc_inert"];
+  const u64 hint_elided = elided_by_case["interp_faros_divspin_btc_hints"];
+  std::printf(
+      "summary-elide gate: %llu elided insns with hints vs %llu without\n",
+      static_cast<unsigned long long>(hint_elided),
+      static_cast<unsigned long long>(inert_elided));
+  if (hint_elided <= inert_elided) {
+    std::fprintf(stderr,
+                 "FAIL: summary elide hints added no coverage "
+                 "(%llu <= %llu elided insns)\n",
+                 static_cast<unsigned long long>(hint_elided),
+                 static_cast<unsigned long long>(inert_elided));
     return false;
   }
   return true;

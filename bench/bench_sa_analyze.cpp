@@ -75,5 +75,23 @@ int main() {
       .field("blocks_per_s", blocks_s)
       .field("insns_per_s", insns_s);
   bench::json_record("sa_analyze", w);
+
+  // Throughput gate (FAROS_BENCH_GATE): the analyzer must stay within 2x
+  // of the committed baseline (BENCH_shadow.json, sa_analyze_pr9) — the
+  // tripwire for an accidentally superlinear summary/callgraph pass. The
+  // baseline is the slowest of three CI-class runs, so half of it is a
+  // regression, not host jitter.
+  if (std::getenv("FAROS_BENCH_GATE")) {
+    constexpr double kBaselineInsnsPerS = 2.4e6;
+    std::printf("sa-analyze gate: %.2fM insns/s (floor %.2fM = baseline/2)\n",
+                insns_s / 1e6, kBaselineInsnsPerS / 2 / 1e6);
+    if (insns_s < kBaselineInsnsPerS / 2) {
+      std::fprintf(stderr,
+                   "FAIL: sa analyzer throughput regressed >2x "
+                   "(%.2fM insns/s < %.2fM floor)\n",
+                   insns_s / 1e6, kBaselineInsnsPerS / 2 / 1e6);
+      return 1;
+    }
+  }
   return 0;
 }

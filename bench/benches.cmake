@@ -22,7 +22,7 @@ faros_bench(bench_ablation_indirect_flows)
 
 add_executable(bench_micro_dift ${CMAKE_SOURCE_DIR}/bench/bench_micro_dift.cpp)
 target_link_libraries(bench_micro_dift PRIVATE
-  faros_attacks faros_core faros_os faros_vm faros_common
+  faros_attacks faros_sa faros_core faros_os faros_vm faros_common
   benchmark::benchmark)
 set_target_properties(bench_micro_dift PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

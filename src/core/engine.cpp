@@ -29,10 +29,12 @@ FarosEngine::FarosEngine(const os::OsiQuery& osi, Options opts)
     export_tag_bytes_ = {s, obs::Ctr::kExportTagBytes};
     bt_elided_ = {s, obs::Ctr::kBtElidedBlocks};
     bt_guard_fail_ = {s, obs::Ctr::kBtGuardFail};
+    bt_hint_ = {s, obs::Ctr::kBtHintBlocks};
     rule_engine_.bind_obs(s);
   }
   // An explicit ruleset replaces the built-ins; otherwise the legacy
   // policy_* toggles select them (the historical default behaviour).
+  rule_engine_.set_static_mask(opts_.static_trigger_mask);
   rule_engine_.configure(opts_.rules.empty()
                              ? builtin_rules(opts_.policy_netflow_export,
                                              opts_.policy_cross_process_export,
@@ -434,8 +436,34 @@ bool FarosEngine::try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
   }
   stats_.insns_seen += count;
   stats_.tainted_fetches += tainted_insns;
+  stats_.elided_insns += count;
   bt_elided_.inc();
   return true;
+}
+
+// Static summary hint check (vm/cpu.h). A hint is trusted only when the
+// freshly translated instruction sequence matches its recorded length and
+// content hash, so a proof can never be applied to bytes that changed
+// since analysis (SMC, image aliasing across processes). This only grants
+// *eligibility*; try_elide_block above still runs its dynamic guard per
+// dispatch, which is why hint-approved blocks keep detection bit-identical:
+// a hinted body runs only inert opcodes plus kDivu sites whose divisor the
+// analyzer proved a non-zero constant from the run's own prefix, so with a
+// clean bank it can neither move taint, trap, nor fire any trigger except
+// the tainted-fetch path try_elide_block already accounts for.
+bool FarosEngine::block_elide_hint(PAddr cr3, VAddr pc,
+                                   const vm::Instruction* insns, u32 count) {
+  (void)cr3;
+  if (!opts_.summary_elide || opts_.elide_hints.empty()) return false;
+  auto it = opts_.elide_hints.find(pc);
+  if (it == opts_.elide_hints.end()) return false;
+  for (const auto& [n, hash] : it->second) {
+    if (n == count && vm::insn_seq_hash(insns, count) == hash) {
+      bt_hint_.inc();
+      return true;
+    }
+  }
+  return false;
 }
 
 void FarosEngine::run_trigger(Trigger t, const vm::InsnEvent& ev,
@@ -757,6 +785,7 @@ obs::MetricSnapshot FarosEngine::metrics_snapshot() const {
   put(obs::Ctr::kStores, stats_.stores);
   put(obs::Ctr::kTaintedFetches, stats_.tainted_fetches);
   put(obs::Ctr::kPolicyEvals, stats_.policy_evals);
+  put(obs::Ctr::kBtElidedInsns, stats_.elided_insns);
   return s;
 }
 

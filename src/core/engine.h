@@ -22,6 +22,7 @@
 // optional address-dependency mode exists for the overtainting ablation.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -58,6 +59,27 @@ struct Options {
   /// way; off forces the fully instrumented path (--no-block-cache sets
   /// this and the machine-side cache toggle together).
   bool block_cache = true;
+
+  /// Accept static summary elide hints (vm::ExecHooks::block_elide_hint):
+  /// blocks the analyzer proved safe beyond per-opcode inertness (e.g.
+  /// constant-divisor kDivu) become elision-eligible when their translated
+  /// bytes match a hint's content hash. Detection is bit-identical either
+  /// way (--no-summary-elide forces the per-opcode-inert-only baseline).
+  bool summary_elide = true;
+  /// The hints themselves, keyed by block start va: (insn count, content
+  /// hash) pairs from sa::ImageReport::elide_hints. Several images of one
+  /// job may alias a va; the hash picks the right proof or none. Empty
+  /// means no hint ever matches.
+  std::map<VAddr, std::vector<std::pair<u32, u64>>> elide_hints;
+
+  /// Statically-proven-unreachable rule triggers (policy-aware pruning),
+  /// bit `static_cast<u32>(Trigger)` per trigger — handed straight to
+  /// RuleEngine::set_static_mask (which refuses the kTaintedFetch bit).
+  /// 0 (the default) prunes nothing. The farm fills this from the
+  /// per-image sa trigger masks when --static-prune is on; detection and
+  /// the per-rule eval counters are bit-identical either way, which the
+  /// prune-on/off CI gate enforces.
+  u8 static_trigger_mask = 0;
 
   /// Built-in policies (ignored when `rules` is non-empty).
   bool policy_netflow_export = true;
@@ -98,6 +120,9 @@ struct EngineStats {
   u64 tainted_fetches = 0;
   u64 export_table_reads = 0;  // loads that touched export-tagged bytes
   u64 policy_evals = 0;
+  /// Instructions covered by approved block elisions (inert and
+  /// hint-proven alike); subset of insns_seen.
+  u64 elided_insns = 0;
 };
 
 class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
@@ -113,6 +138,8 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
                        const vm::AddressSpace& as) override;
   bool try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
                        const vm::Instruction* insns, u32 count) override;
+  bool block_elide_hint(PAddr cr3, VAddr pc, const vm::Instruction* insns,
+                        u32 count) override;
 
   // osi::GuestMonitor
   void on_process_start(const osi::ProcessInfo& p) override;
@@ -280,6 +307,7 @@ class FarosEngine : public vm::ExecHooks, public osi::GuestMonitor {
   obs::Counter export_tag_bytes_;
   obs::Counter bt_elided_;      // inert blocks approved for the fast body
   obs::Counter bt_guard_fail_;  // elision declined (dirty bank / fetch rules)
+  obs::Counter bt_hint_;        // blocks hint-approved beyond inertness
 };
 
 }  // namespace faros::core

@@ -146,12 +146,21 @@ JobResult Farm::run_once(const JobSpec& spec, u32 attempt) const {
   obs::MetricSink* tsink =
       cfg_.engine_opts.collect_metrics ? &timers : nullptr;
 
-  // --- static prefilter (zero-execution; never gates the dynamic run) ---
-  if (cfg_.static_prefilter) {
+  // --- static analysis (zero-execution; never gates the dynamic run) ---
+  // One analyzer pass serves three consumers: the prefilter stamps the
+  // result fields, summary elision collects the per-image elide hints
+  // into this job's engine options, and static pruning intersects the
+  // per-image trigger masks. Extraction failure only surfaces as
+  // sa_error under the prefilter — with elision/pruning alone the job
+  // silently runs unhinted and unmasked, keeping the JSONL
+  // byte-identical to --no-summary-elide / no --static-prune.
+  core::Options eopts = cfg_.engine_opts;
+  const bool want_hints = eopts.summary_elide;
+  if (cfg_.static_prefilter || want_hints || cfg_.static_prune) {
     obs::ScopedTimer t(tsink, obs::Tmr::kStatic);
     auto extracted = attacks::extract_images(*sc, mcfg);
     if (!extracted.ok()) {
-      r.sa_error = extracted.error().message;
+      if (cfg_.static_prefilter) r.sa_error = extracted.error().message;
     } else {
       std::vector<os::Image> images;
       images.reserve(extracted.value().size());
@@ -159,13 +168,36 @@ JobResult Farm::run_once(const JobSpec& spec, u32 attempt) const {
       sa::SaOptions sopts;
       sopts.metrics = tsink;
       sa::ProgramReport rep = sa::analyze_images(spec.name, images, sopts);
-      r.sa_analyzed = true;
-      r.sa_flagged = rep.flagged();
-      r.sa_images = rep.images;
-      r.sa_blocks = rep.blocks;
-      r.sa_findings = rep.findings;
-      r.sa_risk = rep.risk;
-      r.sa_rules = std::move(rep.rules);
+      if (cfg_.static_prefilter) {
+        r.sa_analyzed = true;
+        r.sa_flagged = rep.flagged();
+        r.sa_images = rep.images;
+        r.sa_blocks = rep.blocks;
+        r.sa_findings = rep.findings;
+        r.sa_risk = rep.risk;
+        r.sa_rules = std::move(rep.rules);
+      }
+      if (want_hints) {
+        for (const sa::ImageReport& ir : rep.per_image) {
+          for (const sa::ElideHint& h : ir.elide_hints) {
+            eopts.elide_hints[h.va].emplace_back(h.insns, h.hash);
+          }
+        }
+      }
+      if (cfg_.static_prune) {
+        // sa::TriggerMask bit -> core::Trigger bit (the sa encoding skips
+        // kTaintedFetch, which is never maskable).
+        u8 m = 0;
+        if (rep.trigger_mask & sa::kMaskTaintedLoad)
+          m |= 1u << static_cast<u32>(core::Trigger::kTaintedLoad);
+        if (rep.trigger_mask & sa::kMaskTaintedStore)
+          m |= 1u << static_cast<u32>(core::Trigger::kTaintedStore);
+        if (rep.trigger_mask & sa::kMaskExecPageWrite)
+          m |= 1u << static_cast<u32>(core::Trigger::kExecPageWrite);
+        if (rep.trigger_mask & sa::kMaskSyscallArg)
+          m |= 1u << static_cast<u32>(core::Trigger::kSyscallArg);
+        eopts.static_trigger_mask = m;
+      }
     }
   }
 
@@ -186,7 +218,7 @@ JobResult Farm::run_once(const JobSpec& spec, u32 attempt) const {
 
   // --- replay under the FAROS engine ---
   os::Machine rep(mcfg);
-  core::FarosEngine engine(rep.kernel(), cfg_.engine_opts);
+  core::FarosEngine engine(rep.kernel(), eopts);
   rep.attach_cpu_plugin(&engine);
   rep.add_monitor(&engine);
   if (auto b = rep.boot(); !b.ok())

@@ -48,6 +48,13 @@ struct FarmConfig {
   /// the static risk score / rule hits. Purely additive: dynamic verdicts
   /// are untouched.
   bool static_prefilter = false;
+  /// Policy-aware static pruning: intersect the per-image sa trigger
+  /// masks of each job and hand the result to the replay engine
+  /// (core::Options::static_trigger_mask), so rule triggers statically
+  /// proven unreachable skip their hot-path input computation. Detection
+  /// and the per-rule eval counters are bit-identical on vs off (the
+  /// prune-on/off CI gate pins this over the full corpus).
+  bool static_prune = false;
   /// When non-empty: write one provenance-graph artifact per completed job
   /// to `<graph_out>/<job name>.fpg` (src/graph binary format; job names
   /// are sanitized to filesystem-safe characters). The graph is built from

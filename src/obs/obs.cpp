@@ -47,6 +47,8 @@ const char* ctr_name(Ctr c) {
     case Ctr::kBtEvictCr3: return "bt_evict_cr3";
     case Ctr::kBtElidedBlocks: return "bt_elided_blocks";
     case Ctr::kBtGuardFail: return "bt_guard_fail";
+    case Ctr::kBtElidedInsns: return "bt_elided_insns";
+    case Ctr::kBtHintBlocks: return "bt_hint_blocks";
     case Ctr::kSnapClone: return "snap_clone";
     case Ctr::kCowFault: return "cow_faults";
     case Ctr::kSnapSharedPages: return "snap_shared_pages";

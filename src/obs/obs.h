@@ -106,6 +106,9 @@ enum class Ctr : u32 {
   kBtEvictCr3,      // blocks evicted by process-exit / frame recycling
   kBtElidedBlocks,  // inert blocks the engine ran uninstrumented
   kBtGuardFail,     // elision declined (tainted regs / bound fetch rules)
+  kBtElidedInsns,   // instructions covered by approved elisions
+  kBtHintBlocks,    // blocks approved via a static summary elide hint
+                    // (content-hash matched; beyond per-opcode inertness)
 
   // --- snapshot/COW guest cloning (os/snapshot.h; farm clone-per-job) ---
   kSnapClone,        // machines booted from the shared snapshot (2 per

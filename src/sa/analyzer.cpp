@@ -3,8 +3,217 @@
 #include <algorithm>
 
 #include "common/json.h"
+#include "os/syscalls.h"
+#include "vm/phys_mem.h"
 
 namespace faros::sa {
+
+namespace {
+
+/// True when `insn` under pre-state `st` can neither move taint nor trap:
+/// plainly taint_inert, or a kDivu whose divisor is a proven non-zero
+/// constant (the one reason kDivu is excluded from taint_inert).
+bool inert_under(const vm::Instruction& insn, const RegState& st) {
+  if (vm::taint_inert(insn.op)) return true;
+  if (insn.op != vm::Opcode::kDivu) return false;
+  const AbsVal& d = st.regs[insn.rs2];
+  return d.kind == ValKind::kConst && d.c != 0;
+}
+
+/// Reconstructs the exact instruction run the block-translation cache
+/// would decode starting at `va` (vm/btcache.h translate(): stop at the
+/// first block-ending opcode, the page boundary, or an undecodable slot)
+/// and proves it elidable from the all-kVaries entry state — i.e. for any
+/// runtime entry. Appends a hint only when the proof needed more than the
+/// per-opcode inert bit (some proven kDivu), since plainly inert runs are
+/// already elided by the block cache's own flag.
+void prove_run(const os::Image& img, u32 va, std::vector<ElideHint>& out) {
+  std::vector<vm::Instruction> run;
+  const u32 page_end = vm::page_floor(va) + vm::kPageSize;
+  const u32 img_end = img.base_va + static_cast<u32>(img.blob.size());
+  RegState st = RegState::all_varies();
+  bool beyond_inert = false;
+  for (u32 p = va; p + vm::kInsnSize <= std::min(page_end, img_end);
+       p += vm::kInsnSize) {
+    auto d = vm::decode(
+        ByteSpan(img.blob.data() + (p - img.base_va), vm::kInsnSize));
+    if (!d) break;  // truncated run, exactly like translate()
+    if (!inert_under(*d, st)) return;  // unprovable instruction: no hint
+    if (!vm::taint_inert(d->op)) beyond_inert = true;
+    transfer(*d, p, st);
+    run.push_back(*d);
+    if (vm::ends_block(d->op)) break;
+  }
+  if (run.empty() || !beyond_inert) return;
+  out.push_back(ElideHint{va, static_cast<u32>(run.size()),
+                          vm::insn_seq_hash(run.data(), run.size())});
+}
+
+/// True when the syscall at `va` provably cannot mint executable code,
+/// spawn a process, or touch another process's memory — the conditions
+/// under which masking a trigger on "no such opcode in the recovered
+/// blocks" stays sound (nothing the syscall does can put new opcodes in
+/// front of the fetch unit). Requires a constant service number; kernel
+/// copy-in services additionally need a constant destination window that
+/// misses every recovered block (overwriting data or even dead code is
+/// fine — under a closed CFG neither can ever execute).
+bool code_silent_syscall(const Cfg& cfg, const DataflowResult& df, u32 va) {
+  auto it = df.syscall_args.find(va);
+  if (it == df.syscall_args.end()) return false;
+  const std::array<AbsVal, 5>& args = it->second;
+  if (args[0].kind != ValKind::kConst) return false;
+
+  // Whitelisted copy-ins: index of the destination-buffer and length args.
+  int dst = -1, len = -1;
+  switch (static_cast<os::Sys>(args[0].c)) {
+    // No guest-memory writes, own process only, no code minting.
+    case os::Sys::kNtCreateFile:
+    case os::Sys::kNtOpenFile:
+    case os::Sys::kNtWriteFile:
+    case os::Sys::kNtCloseHandle:
+    case os::Sys::kNtDeleteFile:
+    case os::Sys::kNtSeekFile:
+    case os::Sys::kNtQueryFileSize:
+    case os::Sys::kNtRenameFile:
+    case os::Sys::kNtTruncateFile:
+    case os::Sys::kNtFlushFile:
+    case os::Sys::kNtQueryFileVersion:
+    case os::Sys::kNtWriteFileAt:
+    case os::Sys::kNtQueryFileExists:
+    case os::Sys::kNtGetCurrentPid:
+    case os::Sys::kNtWaitProcess:
+    case os::Sys::kNtOpenProcessByName:
+    case os::Sys::kNtSocket:
+    case os::Sys::kNtConnect:
+    case os::Sys::kNtBind:
+    case os::Sys::kNtSend:
+    case os::Sys::kNtPollRecv:
+    case os::Sys::kNtResolveHost:
+    case os::Sys::kNtDebugPrint:
+    case os::Sys::kNtGetTick:
+    case os::Sys::kNtYield:
+    case os::Sys::kNtExit:
+    case os::Sys::kNtGetModuleDirectory:
+    case os::Sys::kNtAddAtom:
+      return true;
+    // Kernel copy-ins into the caller: sound when the written window is
+    // a compile-time constant that cannot overlap recovered code.
+    case os::Sys::kNtReadFile:
+    case os::Sys::kNtRecv:
+    case os::Sys::kNtReadDevice:
+    case os::Sys::kNtGetAtom:
+      dst = 2; len = 3;
+      break;
+    case os::Sys::kNtReadFileAt:
+      dst = 3; len = 4;
+      break;
+    case os::Sys::kNtGetRandom:
+      dst = 1; len = 2;
+      break;
+    // Everything else (alloc/protect/free, remote read/write, unmap,
+    // create/suspend/resume/terminate process, set entry point, process
+    // list, load library) can change what code runs where: never silent.
+    default:
+      return false;
+  }
+  if (args[dst].kind != ValKind::kConst || args[len].kind != ValKind::kConst) {
+    return false;
+  }
+  const u32 lo = args[dst].c;
+  const u32 hi = lo + args[len].c;
+  if (hi < lo) return false;  // wrapped window: give up
+  for (const auto& [bva, bb] : cfg.blocks) {
+    if (bb.start < hi && lo < bb.end) return false;
+  }
+  return true;
+}
+
+/// Trigger-reachability bound for one image (see TriggerMask in the
+/// header). Returns 0 unless the CFG is closed-world: converged, every
+/// indirect resolved, no escaping direct targets, no decode failures.
+u8 compute_trigger_mask(const Cfg& cfg, const DataflowResult& df,
+                        bool converged) {
+  if (!converged || !cfg.escaping_targets.empty()) return 0;
+  for (const IndirectSite& site : cfg.indirects) {
+    if (!site.resolved) return 0;
+  }
+  // One invalid-site shape is tolerable in a closed world: the fall edge
+  // of a proven-noreturn NtExit syscall running into trailing data (every
+  // program ends that way, and the edge can never be taken). Any other
+  // undecodable site — a misaligned root, a branch into data — means code
+  // we cannot see could run, and no bit survives.
+  auto only_exit_falls_into = [&](u32 va) {
+    bool found = false;
+    for (const auto& [bva, bb] : cfg.blocks) {
+      for (const Edge& e : bb.succs) {
+        if (e.target != va) continue;
+        if (bb.insns.empty() ||
+            bb.terminator().op != vm::Opcode::kSyscall) {
+          return false;
+        }
+        auto sit = df.syscall_args.find(bb.end - vm::kInsnSize);
+        if (sit == df.syscall_args.end()) return false;
+        const AbsVal& num = sit->second[0];
+        if (num.kind != ValKind::kConst ||
+            num.c != static_cast<u32>(os::Sys::kNtExit)) {
+          return false;
+        }
+        found = true;
+      }
+    }
+    return found;
+  };
+  for (u32 va : cfg.invalid_sites) {
+    if (!only_exit_falls_into(va)) return 0;
+  }
+
+  bool has_store = false, has_load = false, has_syscall = false;
+  bool syscalls_silent = true;
+  for (const auto& [va, bb] : cfg.blocks) {
+    for (size_t i = 0; i < bb.insns.size(); ++i) {
+      const vm::Opcode op = bb.insns[i].op;
+      if (vm::is_store(op)) has_store = true;
+      if (vm::is_load(op)) has_load = true;
+      if (op == vm::Opcode::kSyscall) {
+        has_syscall = true;
+        if (!code_silent_syscall(cfg, df, bb.insn_va(i))) {
+          syscalls_silent = false;
+        }
+      }
+    }
+  }
+  // No stores plus code-silent syscalls closes the world: the recovered
+  // blocks are all the code that can ever execute, so the opcode census
+  // is a sound per-trigger bound. With stores (or an opaque syscall) the
+  // program could rewrite its own text, and no census bit survives.
+  u8 mask = 0;
+  if (!has_store && syscalls_silent) {
+    mask |= kMaskTaintedStore | kMaskExecPageWrite;
+    if (!has_load) mask |= kMaskTaintedLoad;
+    if (!has_syscall) mask |= kMaskSyscallArg;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::string trigger_mask_json(u8 mask) {
+  std::string out = "[";
+  auto emit = [&](u8 bit, const char* name) {
+    if (!(mask & bit)) return;
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += name;
+    out += '"';
+  };
+  // core::Trigger order (tainted-fetch is never maskable).
+  emit(kMaskTaintedLoad, "tainted-load");
+  emit(kMaskTaintedStore, "tainted-store");
+  emit(kMaskExecPageWrite, "exec-page-write");
+  emit(kMaskSyscallArg, "syscall-arg");
+  out += ']';
+  return out;
+}
 
 ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
   ImageReport rep;
@@ -15,16 +224,25 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
 
   // Alternate recovery and dataflow until no new indirect target resolves:
   // a target proven by constant propagation becomes a descent root, which
-  // can expose more code, which can feed the next resolution.
+  // can expose more code, which can feed the next resolution. Call sites
+  // are modelled by bottom-up function summaries over the call graph; the
+  // summaries sharpen the dataflow, which can resolve more targets, which
+  // reshapes the call graph on the next round.
   std::map<u32, u32> resolved;
   Cfg cfg;
   DataflowResult df;
+  SummaryTable summaries;
   u32 passes = std::max(1u, opts.max_passes);
+  bool progressed = false;
   for (u32 pass = 0; pass < passes; ++pass) {
     cfg = recover_cfg(img, resolved);
-    df = run_dataflow(cfg);
+    CallGraph cg = build_callgraph(cfg);
+    rep.functions = static_cast<u32>(cg.functions.size());
+    summaries = compute_summaries(cfg, cg);
+    SummaryCallModel model(summaries);
+    df = run_dataflow(cfg, &model);
     ++rep.passes;
-    bool progressed = false;
+    progressed = false;
     for (const IndirectSite& site : cfg.indirects) {
       if (site.resolved || resolved.count(site.va)) continue;
       auto it = df.indirect_value.find(site.va);
@@ -39,11 +257,13 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
     }
     if (!progressed) break;
   }
+  // Progress on the final round means resolution was still expanding the
+  // CFG when the pass budget ran out: report it, don't mask it.
+  rep.converged = !progressed;
 
   rep.blocks = static_cast<u32>(cfg.blocks.size());
   rep.insns = cfg.insn_count;
   for (const auto& [va, bb] : cfg.blocks) {
-    (void)va;
     bool inert = true;
     for (const vm::Instruction& insn : bb.insns) {
       if (!vm::taint_inert(insn.op)) { inert = false; break; }
@@ -52,6 +272,18 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
       ++rep.inert_blocks;
       rep.inert_insns += static_cast<u32>(bb.insns.size());
     }
+    // Summary-level inertness: context-free proof over the block body.
+    RegState st = RegState::all_varies();
+    bool sum_inert = true;
+    for (size_t i = 0; i < bb.insns.size(); ++i) {
+      if (!inert_under(bb.insns[i], st)) { sum_inert = false; break; }
+      transfer(bb.insns[i], bb.insn_va(i), st);
+    }
+    if (sum_inert) {
+      ++rep.summary_inert_blocks;
+      rep.summary_inert_insns += static_cast<u32>(bb.insns.size());
+    }
+    prove_run(img, va, rep.elide_hints);
   }
   rep.indirect_sites = static_cast<u32>(cfg.indirects.size());
   for (const IndirectSite& site : cfg.indirects) {
@@ -59,12 +291,14 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts) {
   }
   rep.dead_regions = static_cast<u32>(cfg.dead_regions.size());
   rep.invalid_sites = static_cast<u32>(cfg.invalid_sites.size());
+  rep.trigger_mask = compute_trigger_mask(cfg, df, rep.converged);
 
   RuleContext ctx{img, cfg, df};
   rep.findings = run_rules(ctx);
   for (const SaFinding& f : rep.findings) {
     rep.risk += severity_weight(f.severity);
   }
+  rep.summaries = std::move(summaries);
   rep.cfg = std::move(cfg);
 
   if (opts.metrics) {
@@ -82,8 +316,11 @@ ProgramReport analyze_images(const std::string& name,
                              const SaOptions& opts) {
   ProgramReport rep;
   rep.name = name;
+  rep.risk_threshold = std::max(1u, opts.risk_threshold);
+  rep.trigger_mask = images.empty() ? 0 : 0xff;
   for (const os::Image& img : images) {
     ImageReport ir = analyze_image(img, opts);
+    rep.trigger_mask &= ir.trigger_mask;
     ++rep.images;
     rep.blocks += ir.blocks;
     rep.insns += ir.insns;
@@ -136,11 +373,17 @@ std::string image_jsonl(const std::string& program, const ImageReport& r) {
       .field("insns", r.insns)
       .field("inert_blocks", r.inert_blocks)
       .field("inert_insns", r.inert_insns)
+      .field("summary_inert_blocks", r.summary_inert_blocks)
+      .field("summary_inert_insns", r.summary_inert_insns)
+      .field("functions", r.functions)
+      .field("elide_hints", static_cast<u32>(r.elide_hints.size()))
       .field("indirect_sites", r.indirect_sites)
       .field("resolved_indirects", r.resolved_indirects)
       .field("dead_regions", r.dead_regions)
       .field("invalid_sites", r.invalid_sites)
       .field("passes", r.passes)
+      .field("converged", r.converged)
+      .field("trigger_mask", static_cast<u32>(r.trigger_mask))
       .field("findings", static_cast<u32>(r.findings.size()))
       .field("risk", r.risk);
   return w.str();
@@ -159,6 +402,18 @@ std::string program_jsonl(const std::string& category,
       .field("risk", r.risk)
       .field("static_flagged", r.flagged())
       .raw_field("rules", rules_json(r.rules));
+  return w.str();
+}
+
+std::string policy_jsonl(const std::string& category,
+                         const ProgramReport& r) {
+  JsonWriter w;
+  w.field("type", "policy")
+      .field("program", r.name)
+      .field("category", category)
+      .field("images", r.images)
+      .field("mask", static_cast<u32>(r.trigger_mask))
+      .raw_field("pruned", trigger_mask_json(r.trigger_mask));
   return w.str();
 }
 

@@ -8,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "sa/rules.h"
+#include "sa/summary.h"
 
 namespace faros::sa {
 
@@ -20,9 +21,53 @@ struct SaOptions {
   /// CFG <-> dataflow rounds; each round may resolve further indirect
   /// targets. Corpus programs converge in 2.
   u32 max_passes = 4;
+  /// Summed finding weight at which a program counts as static-flagged
+  /// (faros_lint --risk-threshold).
+  u32 risk_threshold = kStaticRiskThreshold;
   /// Counter sink (sa_* counters); null = no metrics.
   obs::MetricSink* metrics = nullptr;
 };
+
+/// One proven-elidable runtime block: starting at `va`, the exact
+/// instruction sequence the block-translation cache would decode there
+/// (`insns` of them, content-stamped by vm::insn_seq_hash) runs only
+/// vm::taint_inert opcodes plus kDivu sites whose divisor is a non-zero
+/// constant re-derivable from *any* entry state — so the engine may run it
+/// uninstrumented under the usual clean-bank guard even though the plain
+/// per-opcode inert bit says no.
+struct ElideHint {
+  u32 va = 0;
+  u32 insns = 0;
+  u64 hash = 0;
+  bool operator==(const ElideHint&) const = default;
+};
+
+/// Statically-unreachable runtime rule triggers (policy-aware pruning).
+/// A set bit asserts "no DIFT event of this kind can occur while this
+/// image's code executes"; the farm intersects the per-image masks of a
+/// job and hands the result to core::RuleEngine::set_static_mask, which
+/// then reports the trigger unbound so the hot path skips its input
+/// computation. The bits are only claimed under a closed-world proof:
+/// the CFG converged with every indirect resolved, no escaping branches
+/// and no decode failures, AND every reachable syscall is a constant
+/// number from a code-silent set — services that cannot mint executable
+/// code, spawn processes, or touch another process's memory (kernel
+/// copy-ins additionally need a constant destination window that misses
+/// every recovered block). Under those conditions all code that can ever
+/// run is exactly the recovered blocks, so an opcode census is a sound
+/// trigger-reachability bound. tainted-fetch is deliberately absent:
+/// fetching injected code is the event the whole system exists to catch,
+/// so it is never maskable.
+enum TriggerMask : u8 {
+  kMaskTaintedLoad = 1u << 0,   // no load/pop opcode reachable
+  kMaskTaintedStore = 1u << 1,  // no store/push opcode reachable
+  kMaskExecPageWrite = 1u << 2, // ditto (both fire only on guest stores)
+  kMaskSyscallArg = 1u << 3,    // no syscall opcode reachable
+};
+
+/// JSON array of the pruned trigger names ('["tainted-store",...]'),
+/// in core::Trigger order. "[]" for mask 0.
+std::string trigger_mask_json(u8 mask);
 
 struct ImageReport {
   std::string image;
@@ -30,14 +75,30 @@ struct ImageReport {
   u32 blocks = 0, insns = 0;
   /// Blocks (and their instruction total) whose every opcode is
   /// vm::taint_inert — the static upper bound on what the runtime
-  /// block-translation cache (vm/btcache.h) may run uninstrumented.
+  /// block-translation cache (vm/btcache.h) may run uninstrumented
+  /// without any summary facts.
   u32 inert_blocks = 0, inert_insns = 0;
+  /// Blocks provable inert with summary-level facts: every instruction is
+  /// taint_inert *or* a kDivu whose divisor is a proven non-zero constant
+  /// from the block's own prefix (context-free, so the proof holds for
+  /// any runtime entry). Superset of inert_blocks; the delta is what the
+  /// elide hints export to the engine.
+  u32 summary_inert_blocks = 0, summary_inert_insns = 0;
+  u32 functions = 0;  // call-graph functions discovered
   u32 indirect_sites = 0, resolved_indirects = 0;
   u32 dead_regions = 0, invalid_sites = 0;
   u32 passes = 0;  // analysis rounds until the indirect fixpoint
+  /// False when max_passes ran out while indirect resolution was still
+  /// making progress — the report may be based on an incomplete CFG.
+  bool converged = true;
+  /// TriggerMask bits statically proven unreachable for this image
+  /// (0 whenever the closed-world proof fails).
+  u8 trigger_mask = 0;
   std::vector<SaFinding> findings;
   u32 risk = 0;  // summed severity weights
 
+  std::vector<ElideHint> elide_hints;  // ascending va
+  SummaryTable summaries;              // final-pass function summaries
   Cfg cfg;  // final-pass CFG, for tooling and the golden tests
 };
 
@@ -48,10 +109,16 @@ ImageReport analyze_image(const os::Image& img, const SaOptions& opts = {});
 struct ProgramReport {
   std::string name;
   u32 images = 0, blocks = 0, insns = 0, findings = 0, risk = 0;
+  u32 risk_threshold = kStaticRiskThreshold;  // from SaOptions
+  /// Intersection of the per-image trigger masks: a bit survives only
+  /// when every image of the program proves it (a job replays them all
+  /// under one engine, so the engine-level mask must hold everywhere).
+  /// 0 when the program has no images.
+  u8 trigger_mask = 0;
   std::vector<std::string> rules;  // sorted unique rule names that fired
   std::vector<ImageReport> per_image;
 
-  bool flagged() const { return risk >= kStaticRiskThreshold; }
+  bool flagged() const { return risk >= risk_threshold; }
 };
 
 ProgramReport analyze_images(const std::string& name,
@@ -71,6 +138,12 @@ std::string image_jsonl(const std::string& program, const ImageReport& r);
 /// {"type":"program","name":...,"category":...,"risk":...,...}
 std::string program_jsonl(const std::string& category,
                           const ProgramReport& r);
+
+/// {"type":"policy","program":...,"mask":...,"pruned":[...],...} — the
+/// faros_lint --policies line: which rule triggers are statically
+/// unreachable for the whole program.
+std::string policy_jsonl(const std::string& category,
+                         const ProgramReport& r);
 
 /// Pre-rendered JSON array of the rule names, for embedding.
 std::string rules_json(const std::vector<std::string>& rules);

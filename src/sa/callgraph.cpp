@@ -1,0 +1,144 @@
+#include "sa/callgraph.h"
+
+#include <algorithm>
+
+namespace faros::sa {
+
+namespace {
+
+/// Collects the intraprocedural closure and call sites of one function.
+void build_body(const Cfg& cfg, Function& fn) {
+  std::vector<u32> stack{fn.entry};
+  while (!stack.empty()) {
+    u32 va = stack.back();
+    stack.pop_back();
+    if (!fn.blocks.insert(va).second) continue;
+    auto it = cfg.blocks.find(va);
+    if (it == cfg.blocks.end()) continue;
+    const BasicBlock& blk = it->second;
+    for (const Edge& e : blk.succs) {
+      if (e.kind != EdgeKind::kCall) stack.push_back(e.target);
+    }
+    if (blk.insns.empty() || !vm::is_call(blk.terminator().op)) continue;
+    CallSite site;
+    site.va = blk.insn_va(blk.insns.size() - 1);
+    site.op = blk.terminator().op;
+    for (const Edge& e : blk.succs) {
+      if (e.kind == EdgeKind::kCall) {
+        site.resolved = true;
+        site.target = e.target;
+        break;
+      }
+    }
+    if (site.resolved) {
+      fn.callees.insert(site.target);
+    } else {
+      fn.has_unresolved_call = true;
+    }
+    fn.call_sites.push_back(site);
+  }
+  std::sort(fn.call_sites.begin(), fn.call_sites.end(),
+            [](const CallSite& a, const CallSite& b) { return a.va < b.va; });
+}
+
+/// Iterative Tarjan over the callee relation. Emits SCCs in reverse
+/// topological order of the condensation — callees before callers — which
+/// is the bottom-up order the summary pass consumes directly.
+struct Tarjan {
+  const std::map<u32, Function>& fns;
+  std::map<u32, u32> index, lowlink;
+  std::set<u32> on_stack;
+  std::vector<u32> stack;
+  u32 next_index = 0;
+  std::vector<std::vector<u32>> sccs;
+
+  struct Frame {
+    u32 v;
+    std::set<u32>::const_iterator child, end;
+  };
+
+  explicit Tarjan(const std::map<u32, Function>& f) : fns(f) {}
+
+  void push_node(u32 v, std::vector<Frame>& frames) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    const std::set<u32>& cs = fns.at(v).callees;
+    frames.push_back(Frame{v, cs.begin(), cs.end()});
+  }
+
+  void run(u32 root) {
+    std::vector<Frame> frames;
+    push_node(root, frames);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child != f.end) {
+        u32 w = *f.child++;
+        if (!fns.count(w)) continue;
+        if (!index.count(w)) {
+          push_node(w, frames);
+        } else if (on_stack.count(w)) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        u32 v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          u32 p = frames.back().v;
+          lowlink[p] = std::min(lowlink[p], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<u32> scc;
+          for (;;) {
+            u32 w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph build_callgraph(const Cfg& cfg) {
+  CallGraph cg;
+
+  // Function entries: the image entry, every export, and every kCall-edge
+  // target anywhere in the CFG (direct calls and resolved kCallr sites).
+  std::set<u32> entries;
+  if (cfg.blocks.count(cfg.entry)) entries.insert(cfg.entry);
+  for (u32 va : cfg.export_vas) {
+    if (cfg.blocks.count(va)) entries.insert(va);
+  }
+  for (const auto& [start, blk] : cfg.blocks) {
+    (void)start;
+    for (const Edge& e : blk.succs) {
+      if (e.kind == EdgeKind::kCall && cfg.blocks.count(e.target)) {
+        entries.insert(e.target);
+      }
+    }
+  }
+
+  for (u32 entry : entries) {
+    Function fn;
+    fn.entry = entry;
+    build_body(cfg, fn);
+    cg.functions.emplace(entry, std::move(fn));
+  }
+
+  Tarjan t(cg.functions);
+  for (const auto& [entry, fn] : cg.functions) {
+    (void)fn;
+    if (!t.index.count(entry)) t.run(entry);
+  }
+  cg.sccs = std::move(t.sccs);
+  return cg;
+}
+
+}  // namespace faros::sa

@@ -1,0 +1,54 @@
+// Call graph over the recovered CFG (src/sa/cfg.h): functions are the
+// entry point, every export, and every kCall-edge target (direct calls and
+// dataflow-resolved kCallr sites); a function's body is the intraprocedural
+// closure of its entry block over fall/taken/indirect edges. Recursion is
+// handled by an SCC condensation (iterative Tarjan) emitted callee-first,
+// which is exactly the order the bottom-up summary pass (sa/summary.h)
+// wants to consume.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "sa/cfg.h"
+
+namespace faros::sa {
+
+/// One call instruction inside a function body. Unresolved sites (opaque
+/// kCallr, or a direct target outside the recovered code) are the
+/// interprocedural blind spot: summaries fall back to clobber-all there.
+struct CallSite {
+  u32 va = 0;
+  vm::Opcode op = vm::Opcode::kCall;
+  bool resolved = false;
+  u32 target = 0;  // callee entry, valid when resolved
+};
+
+struct Function {
+  u32 entry = 0;
+  /// Body block starts: the closure of `entry` over non-kCall edges.
+  std::set<u32> blocks;
+  std::vector<CallSite> call_sites;  // ascending va
+  std::set<u32> callees;             // resolved call targets
+  bool has_unresolved_call = false;
+};
+
+struct CallGraph {
+  /// Every discovered function, keyed by entry va.
+  std::map<u32, Function> functions;
+  /// SCC condensation of the callee relation, callee-first: every callee
+  /// of a function in scc i lives in some scc j <= i (j == i exactly for
+  /// recursion). Each SCC lists member entries in ascending va.
+  std::vector<std::vector<u32>> sccs;
+
+  const Function* function_of(u32 entry) const {
+    auto it = functions.find(entry);
+    return it == functions.end() ? nullptr : &it->second;
+  }
+};
+
+/// Builds the call graph for one image's CFG. Deterministic: same CFG,
+/// same functions, same SCC order.
+CallGraph build_callgraph(const Cfg& cfg);
+
+}  // namespace faros::sa

@@ -223,7 +223,13 @@ Cfg recover_cfg(const os::Image& img,
   Recovery rec(img);
   if (rec.cfg.size >= vm::kInsnSize) {
     rec.add_root(img.entry_va());
-    for (const auto& exp : img.exports) rec.add_root(img.base_va + exp.offset);
+    for (const auto& exp : img.exports) {
+      u32 va = img.base_va + exp.offset;
+      rec.add_root(va);
+      if (rec.cfg.contains(va) && rec.aligned(va)) {
+        rec.cfg.export_vas.push_back(va);
+      }
+    }
     for (const auto& [site, target] : resolved_indirects) {
       (void)site;
       rec.add_root(target);
@@ -241,6 +247,10 @@ Cfg recover_cfg(const os::Image& img,
             });
   std::sort(rec.cfg.invalid_sites.begin(), rec.cfg.invalid_sites.end());
   std::sort(rec.cfg.escaping_targets.begin(), rec.cfg.escaping_targets.end());
+  std::sort(rec.cfg.export_vas.begin(), rec.cfg.export_vas.end());
+  rec.cfg.export_vas.erase(
+      std::unique(rec.cfg.export_vas.begin(), rec.cfg.export_vas.end()),
+      rec.cfg.export_vas.end());
   for (const auto& [start, blk] : rec.cfg.blocks) {
     (void)start;
     rec.cfg.insn_count += static_cast<u32>(blk.insns.size());

@@ -75,6 +75,10 @@ struct Cfg {
   std::vector<u32> invalid_sites;        // descent hit an undecodable insn
   std::vector<u32> escaping_targets;     // direct targets outside the blob
   std::vector<DeadRegion> dead_regions;  // ascending start va
+  /// Export entry points accepted as descent roots (ascending, unique).
+  /// Externally callable: the dataflow keeps them at the all-kVaries
+  /// boundary even when they also have internal call sites.
+  std::vector<u32> export_vas;
   u32 insn_count = 0;                    // instructions across all blocks
 
   bool contains(u32 va) const { return va >= base && va - base < size; }

@@ -4,6 +4,19 @@
 
 namespace faros::sa {
 
+namespace {
+
+/// Origin merge for two values flowing into one: a shared single def site
+/// survives, disagreement (or a value with no site) collapses to 0.
+u32 merge_origin(u32 a, u32 b) {
+  if (a == b) return a;
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return 0;
+}
+
+}  // namespace
+
 AbsVal join(const AbsVal& a, const AbsVal& b) {
   if (a.kind == ValKind::kUnknown) {
     AbsVal r = b;
@@ -19,19 +32,17 @@ AbsVal join(const AbsVal& a, const AbsVal& b) {
   if (a.kind == ValKind::kConst && b.kind == ValKind::kConst && a.c == b.c) {
     return AbsVal::konst(a.c, loaded);
   }
-  return AbsVal::varies(loaded);
+  return AbsVal::varies(loaded, a.origin == b.origin ? a.origin : 0);
 }
 
-namespace {
-
-using vm::Opcode;
-
-/// Folds rd = a op b when both are constants; otherwise kVaries. The
-/// from_load bit is inherited from either operand.
-AbsVal fold(Opcode op, const AbsVal& a, const AbsVal& b) {
+AbsVal fold_const(vm::Opcode op, const AbsVal& a, const AbsVal& b) {
+  using vm::Opcode;
   bool loaded = a.from_load || b.from_load;
   if (a.kind != ValKind::kConst || b.kind != ValKind::kConst) {
-    return AbsVal::varies(loaded);
+    // Arithmetic against a constant (or an origin-free unknown, like a
+    // loop counter) keeps the single def site: "alloc base + i" still
+    // points at the allocating syscall.
+    return AbsVal::varies(loaded, merge_origin(a.origin, b.origin));
   }
   u32 x = a.c, y = b.c;
   switch (op) {
@@ -57,9 +68,8 @@ AbsVal fold(Opcode op, const AbsVal& a, const AbsVal& b) {
   }
 }
 
-}  // namespace
-
 void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
+  using vm::Opcode;
   auto& r = st.regs;
   const u32 next = va + vm::kInsnSize;
   switch (insn.op) {
@@ -69,7 +79,7 @@ void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
 
     case Opcode::kLd8:
     case Opcode::kLd16:
-    case Opcode::kLd32: r[insn.rd] = AbsVal::varies(true); break;
+    case Opcode::kLd32: r[insn.rd] = AbsVal::varies(true, va); break;
 
     case Opcode::kAdd:
     case Opcode::kSub:
@@ -84,7 +94,7 @@ void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
           insn.rs1 == insn.rs2) {
         r[insn.rd] = AbsVal::konst(0);  // the idiomatic register clear
       } else {
-        r[insn.rd] = fold(insn.op, r[insn.rs1], r[insn.rs2]);
+        r[insn.rd] = fold_const(insn.op, r[insn.rs1], r[insn.rs2]);
       }
       break;
 
@@ -96,16 +106,16 @@ void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
     case Opcode::kXori:
     case Opcode::kShli:
     case Opcode::kShri:
-      r[insn.rd] = fold(insn.op, r[insn.rs1], AbsVal::konst(insn.imm));
+      r[insn.rd] = fold_const(insn.op, r[insn.rs1], AbsVal::konst(insn.imm));
       break;
 
     case Opcode::kPush:
-      r[vm::SP] = fold(Opcode::kSubi, r[vm::SP], AbsVal::konst(4));
+      r[vm::SP] = fold_const(Opcode::kSubi, r[vm::SP], AbsVal::konst(4));
       break;
     case Opcode::kPop:
-      r[insn.rd] = AbsVal::varies(true);
+      r[insn.rd] = AbsVal::varies(true, va);
       if (insn.rd != vm::SP) {
-        r[vm::SP] = fold(Opcode::kAddi, r[vm::SP], AbsVal::konst(4));
+        r[vm::SP] = fold_const(Opcode::kAddi, r[vm::SP], AbsVal::konst(4));
       }
       break;
 
@@ -115,7 +125,7 @@ void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
     // Syscall results (handles, alloc bases, recv lengths) are as
     // runtime-derived as loaded bytes — both carry the from_load mark so
     // the rules can spot control flow through kernel-produced values.
-    case Opcode::kSyscall: r[vm::R0] = AbsVal::varies(true); break;
+    case Opcode::kSyscall: r[vm::R0] = AbsVal::varies(true, va); break;
 
     case Opcode::kNop:
     case Opcode::kHalt:
@@ -138,7 +148,8 @@ void transfer(const vm::Instruction& insn, u32 va, RegState& st) {
   }
 }
 
-DataflowResult run_dataflow(const Cfg& cfg) {
+DataflowResult run_dataflow(const Cfg& cfg, const CallModel* model) {
+  using vm::Opcode;
   DataflowResult res;
   if (cfg.blocks.empty()) return res;
 
@@ -153,8 +164,12 @@ DataflowResult run_dataflow(const Cfg& cfg) {
       roots.insert(site.target);
     }
   }
-  // Exports are only knowable from the image; recover_cfg rooted them, and
-  // any block with no intra-image predecessor must be such a root.
+  // Exports are externally callable no matter how many internal call sites
+  // they have; any block with no intra-image predecessor must also be an
+  // external root.
+  for (u32 va : cfg.export_vas) {
+    if (cfg.blocks.count(va)) roots.insert(va);
+  }
   std::set<u32> has_pred;
   for (const auto& [start, blk] : cfg.blocks) {
     (void)start;
@@ -193,25 +208,64 @@ DataflowResult run_dataflow(const Cfg& cfg) {
                       : insn.rs1;
         res.mem_base_value[va] = st.regs[base];
       }
+      if (vm::is_store(insn.op)) {
+        u8 src = insn.op == Opcode::kPush ? insn.rs1 : insn.rs2;
+        res.store_value[va] = st.regs[src];
+      }
+      if (insn.op == Opcode::kSyscall) {
+        auto& args = res.syscall_args[va];
+        for (u32 j = 0; j < 5; ++j) args[j] = st.regs[j];
+      }
       if (vm::is_indirect_branch(insn.op)) {
         res.indirect_value[va] = st.regs[insn.rs1];
       }
       transfer(insn, va, st);
     }
 
-    // A call terminator clobbers everything along every outgoing edge: the
-    // callee's register effects are unknown, and its own entry assumes
-    // nothing either.
+    // Call-terminator edge semantics. Without a model, a call clobbers
+    // everything along every outgoing edge (callee effects unknown, callee
+    // entry assumes nothing). With a model, the kCall edge carries the
+    // caller's state into the callee and the fall edge carries whatever
+    // the model says comes back — possibly nothing at all.
     RegState out = st;
-    if (!blk.insns.empty() && vm::is_call(blk.terminator().op)) {
-      out = RegState::all_varies();
+    RegState callee_in = st;
+    bool fall_reachable = true;
+    bool call_term = !blk.insns.empty() && vm::is_call(blk.terminator().op);
+    if (call_term) {
+      if (!model) {
+        out = RegState::all_varies();
+        callee_in = out;
+      } else {
+        u32 site_va = blk.insn_va(blk.insns.size() - 1);
+        const vm::Instruction& term = blk.terminator();
+        bool has_target = false;
+        u32 target = 0;
+        if (term.op == Opcode::kCall) {
+          if (auto t = vm::direct_target(term, site_va)) {
+            has_target = true;
+            target = *t;
+          }
+        } else {
+          for (const IndirectSite& s : cfg.indirects) {
+            if (s.va == site_va && s.resolved) {
+              has_target = true;
+              target = s.target;
+              break;
+            }
+          }
+        }
+        fall_reachable = model->call_out(site_va, has_target, target, st, out);
+      }
     }
     for (const Edge& e : blk.succs) {
+      if (call_term && e.kind != EdgeKind::kCall && !fall_reachable) continue;
+      const RegState& eout =
+          call_term && e.kind == EdgeKind::kCall ? callee_in : out;
       auto it = res.block_in.find(e.target);
       if (it == res.block_in.end()) continue;
       RegState merged;
       for (u32 i = 0; i < vm::kNumRegs; ++i) {
-        merged.regs[i] = join(it->second.regs[i], out.regs[i]);
+        merged.regs[i] = join(it->second.regs[i], eout.regs[i]);
       }
       if (!(merged == it->second)) {
         it->second = merged;

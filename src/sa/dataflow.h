@@ -33,14 +33,20 @@ struct AbsVal {
   // (Transitively) derived from a memory load or a syscall result — a
   // value that only exists at runtime. The static mirror of a taint mark.
   bool from_load = false;
+  // Definition site of a runtime-derived value: the va of the single
+  // load / pop / syscall that produced it (0 = none, or merged from
+  // distinct sites). Survives copies and arithmetic against values with
+  // no origin of their own, so "alloc base + loop counter" still points
+  // at the allocating syscall — the static analogue of a provenance tag.
+  u32 origin = 0;
 
   bool operator==(const AbsVal&) const = default;
 
   static AbsVal konst(u32 v, bool loaded = false) {
-    return AbsVal{ValKind::kConst, v, loaded};
+    return AbsVal{ValKind::kConst, v, loaded, 0};
   }
-  static AbsVal varies(bool loaded = false) {
-    return AbsVal{ValKind::kVaries, 0, loaded};
+  static AbsVal varies(bool loaded = false, u32 origin = 0) {
+    return AbsVal{ValKind::kVaries, 0, loaded, origin};
   }
 };
 
@@ -63,6 +69,35 @@ struct RegState {
 /// in run_dataflow, not here.
 void transfer(const vm::Instruction& insn, u32 va, RegState& st);
 
+/// Constant folding of rd = a op b, shared with the summary layer; mirrors
+/// cpu.cpp exactly (u32 wrap, 5-bit shift masks, divu-by-zero traps).
+AbsVal fold_const(vm::Opcode op, const AbsVal& a, const AbsVal& b);
+
+/// Models the register effects of a call terminator. run_dataflow without
+/// a model keeps the historical semantics: every outgoing edge of a call
+/// block is clobbered to all-kVaries. With a model, the kCall edge carries
+/// the caller's state into the callee and the fall-through edge carries
+/// whatever `call_out` produces — the hook the interprocedural summary
+/// layer (sa/summary.h) plugs into.
+class CallModel {
+ public:
+  virtual ~CallModel() = default;
+  /// Fills `out` with the register state after the call at `site_va`
+  /// returns. `target` is valid when `has_target` (direct call, or a
+  /// resolved kCallr). Returns false when the callee provably never
+  /// returns — the fall-through edge is then unreachable. The default is
+  /// the sound fallback: clobber everything, always returns.
+  virtual bool call_out(u32 site_va, bool has_target, u32 target,
+                        const RegState& at_call, RegState& out) const {
+    (void)site_va;
+    (void)has_target;
+    (void)target;
+    (void)at_call;
+    out = RegState::all_varies();
+    return true;
+  }
+};
+
 struct DataflowResult {
   /// Converged in-state per block (keyed by block start va).
   std::map<u32, RegState> block_in;
@@ -70,12 +105,16 @@ struct DataflowResult {
   std::map<u32, AbsVal> indirect_value;
   /// Abstract base-register value at each load/store site, keyed by va.
   std::map<u32, AbsVal> mem_base_value;
+  /// Abstract value being stored at each store site (st*: rs2, push: rs1).
+  std::map<u32, AbsVal> store_value;
+  /// Pre-state of R0..R4 (service number + args) at each kSyscall site.
+  std::map<u32, std::array<AbsVal, 5>> syscall_args;
   u32 iterations = 0;  // block visits until the fixpoint
 };
 
 /// Worklist fixpoint over `cfg`. Roots (entry, exports, resolved indirect
-/// targets) start all-kVaries; a call terminator clobbers every register
-/// along all outgoing edges (callee effects are unknown).
-DataflowResult run_dataflow(const Cfg& cfg);
+/// targets) start all-kVaries. Call terminators are modelled by `model`;
+/// null keeps the historical clobber-all-edges semantics.
+DataflowResult run_dataflow(const Cfg& cfg, const CallModel* model = nullptr);
 
 }  // namespace faros::sa

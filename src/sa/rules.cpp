@@ -51,6 +51,67 @@ bool code_shaped(const DeadRegion& r) {
   return r.insns >= 4 && r.non_nop >= 4 && r.has_terminator;
 }
 
+/// Instruction at `va`, or null when no recovered block covers it.
+const vm::Instruction* insn_at(const Cfg& cfg, u32 va) {
+  const BasicBlock* blk = cfg.block_containing(va);
+  if (!blk) return nullptr;
+  return &blk->insns[(va - blk->start) / vm::kInsnSize];
+}
+
+/// Syscall sites proven to allocate executable memory in the program's own
+/// address space: NtAllocateVirtualMemory with pid constant 0 (self) and a
+/// constant protection including exec.
+std::set<u32> self_exec_alloc_sites(const RuleContext& ctx) {
+  std::set<u32> sites;
+  for (const auto& [va, args] : ctx.df.syscall_args) {
+    if (args[0].kind != ValKind::kConst ||
+        args[0].c != static_cast<u32>(os::Sys::kNtAllocateVirtualMemory)) {
+      continue;
+    }
+    if (args[1].kind != ValKind::kConst || args[1].c != 0) continue;
+    if (args[3].kind != ValKind::kConst || !(args[3].c & os::kProtExec)) {
+      continue;
+    }
+    sites.insert(va);
+  }
+  return sites;
+}
+
+/// True when the image opens its code channel itself: some NtConnect whose
+/// endpoint is an image constant. A JIT host dials its own compiler
+/// service; a loader that accepts code passively (bind+recv) or resolves
+/// its endpoint at runtime (DNS-staged) has no such site.
+bool has_const_endpoint_connect(const RuleContext& ctx) {
+  for (const auto& [va, args] : ctx.df.syscall_args) {
+    (void)va;
+    if (args[0].kind == ValKind::kConst &&
+        args[0].c == static_cast<u32>(os::Sys::kNtConnect) &&
+        args[2].kind == ValKind::kConst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when the computed store at `va` is one step of a JIT-style emit
+/// loop: destination inside a self exec allocation, value a straight load
+/// out of some *other* single staging buffer (tracked source, not the exec
+/// allocation itself).
+bool is_jit_copy_store(const RuleContext& ctx, u32 va, const AbsVal& base,
+                       const std::set<u32>& exec_allocs) {
+  if (!exec_allocs.count(base.origin)) return false;
+  auto sv = ctx.df.store_value.find(va);
+  if (sv == ctx.df.store_value.end()) return false;
+  const AbsVal& val = sv->second;
+  if (!val.from_load || val.origin == 0) return false;
+  const vm::Instruction* src = insn_at(ctx.cfg, val.origin);
+  if (!src || !vm::is_load(src->op)) return false;
+  auto sb = ctx.df.mem_base_value.find(val.origin);
+  if (sb == ctx.df.mem_base_value.end()) return false;
+  u32 src_origin = sb->second.origin;
+  return src_origin != 0 && !exec_allocs.count(src_origin);
+}
+
 // --- smc-write-to-code -----------------------------------------------------
 // A store whose address is statically known and lands inside a reached
 // basic block: the program overwrites bytes it can also execute — the
@@ -76,26 +137,41 @@ class WriteIntoCodeRule final : public Rule {
   }
 };
 
-// --- store-then-indirect ---------------------------------------------------
+// --- store-then-indirect / self-jit-emitter --------------------------------
 // The loader shape: the program writes memory at computed (non-constant)
 // addresses, then transfers control through a register that is either
 // memory-derived or provably outside the image — the static silhouette of
 // "copy payload somewhere executable and jump to it".
+//
+// Interprocedural refinement: when the whole image matches the *declared*
+// JIT-host silhouette — the indirect target originates at a self exec
+// allocation, every computed store is a straight staging-buffer-to-exec
+// copy, and the staging bytes arrive over a connection the image opens to
+// a constant endpoint — the site downgrades to the warn-level
+// "self-jit-emitter". A loader that accepts code passively (ipc_relay's
+// backend binds and receives) or hides its endpoint behind NtResolveHost
+// (the reverse_tcp_dns stager) keeps the full alert.
 class StoreThenIndirectRule final : public Rule {
  public:
   const char* name() const override { return "store-then-indirect"; }
   Severity severity() const override { return Severity::kAlert; }
   void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    const std::set<u32> exec_allocs = self_exec_alloc_sites(ctx);
     u32 computed_stores = 0;
+    bool jit_copy_only = true;  // every computed store is a staged copy
     for (const auto& [va, base] : ctx.df.mem_base_value) {
-      const BasicBlock* blk = ctx.cfg.block_containing(va);
-      if (!blk) continue;
-      size_t idx = (va - blk->start) / vm::kInsnSize;
-      const vm::Instruction& insn = blk->insns[idx];
-      if (!vm::is_store(insn.op) || insn.op == Opcode::kPush) continue;
-      if (base.kind != ValKind::kConst) ++computed_stores;
+      const vm::Instruction* insn = insn_at(ctx.cfg, va);
+      if (!insn || !vm::is_store(insn->op) || insn->op == Opcode::kPush) {
+        continue;
+      }
+      if (base.kind == ValKind::kConst) continue;
+      ++computed_stores;
+      if (!is_jit_copy_store(ctx, va, base, exec_allocs)) {
+        jit_copy_only = false;
+      }
     }
     if (computed_stores == 0) return;
+    const bool declared_channel = has_const_endpoint_connect(ctx);
     for (const auto& site : ctx.cfg.indirects) {
       auto it = ctx.df.indirect_value.find(site.va);
       if (it == ctx.df.indirect_value.end()) continue;
@@ -107,6 +183,17 @@ class StoreThenIndirectRule final : public Rule {
       const BasicBlock* blk = ctx.cfg.block_containing(site.va);
       const vm::Instruction& insn =
           blk->insns[(site.va - blk->start) / vm::kInsnSize];
+      if (opaque && jit_copy_only && declared_channel &&
+          exec_allocs.count(v.origin)) {
+        out.push_back(SaFinding{
+            "self-jit-emitter", Severity::kWarn, site.va,
+            vm::disassemble(insn),
+            strf("%s into a self exec allocation (site 0x%08x) filled by "
+                 "%u staged copy store%s over a const-endpoint channel",
+                 vm::opcode_name(site.op), v.origin, computed_stores,
+                 computed_stores == 1 ? "" : "s")});
+        continue;
+      }
       out.push_back(SaFinding{
           name(), severity(), site.va, vm::disassemble(insn),
           strf("%s through %s register after %u computed store%s",
@@ -144,6 +231,125 @@ class InjectionSyscallRule final : public Rule {
           strf("reachable %s syscall (cross-process injection primitive)",
                os::syscall_name(num.c))});
     });
+  }
+};
+
+// --- drop-and-execute ------------------------------------------------------
+// The dropper chain, statically: network bytes land in a tracked buffer,
+// that same buffer is written through a file handle created for a constant
+// path, and the same constant path is then handed to NtCreateProcess. No
+// code pointer ever appears in this image — the "jump" is the process
+// spawn — so store-then-indirect is blind to the shape. The handle and
+// buffer links are interprocedural origin facts from the summary-driven
+// dataflow: handle origin = the NtCreateFile site, buffer origin = the
+// allocation a recv filled.
+class DropAndExecuteRule final : public Rule {
+ public:
+  const char* name() const override { return "drop-and-execute"; }
+  Severity severity() const override { return Severity::kAlert; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    std::set<u32> net_buffers;        // origins of recv-filled buffers
+    std::map<u32, u32> create_paths;  // NtCreateFile site -> const path
+    std::vector<std::pair<u32, u32>> spawns;  // NtCreateProcess site, path
+    for (const auto& [va, args] : ctx.df.syscall_args) {
+      if (args[0].kind != ValKind::kConst) continue;
+      switch (static_cast<os::Sys>(args[0].c)) {
+        case os::Sys::kNtRecv:
+          if (args[2].kind != ValKind::kConst && args[2].origin != 0) {
+            net_buffers.insert(args[2].origin);
+          }
+          break;
+        case os::Sys::kNtCreateFile:
+          if (args[1].kind == ValKind::kConst) create_paths[va] = args[1].c;
+          break;
+        case os::Sys::kNtCreateProcess:
+          if (args[1].kind == ValKind::kConst) {
+            spawns.emplace_back(va, args[1].c);
+          }
+          break;
+        default: break;
+      }
+    }
+    if (net_buffers.empty() || create_paths.empty() || spawns.empty()) return;
+    std::set<u32> dropped_paths;  // const paths written with network bytes
+    for (const auto& [va, args] : ctx.df.syscall_args) {
+      (void)va;
+      if (args[0].kind != ValKind::kConst ||
+          args[0].c != static_cast<u32>(os::Sys::kNtWriteFile)) {
+        continue;
+      }
+      auto handle = create_paths.find(args[1].origin);
+      if (handle == create_paths.end()) continue;
+      if (args[2].kind == ValKind::kConst ||
+          !net_buffers.count(args[2].origin)) {
+        continue;
+      }
+      dropped_paths.insert(handle->second);
+    }
+    for (const auto& [va, path] : spawns) {
+      if (!dropped_paths.count(path)) continue;
+      const vm::Instruction* insn = insn_at(ctx.cfg, va);
+      out.push_back(SaFinding{
+          name(), severity(), va, insn ? vm::disassemble(*insn) : "",
+          strf("NtCreateProcess on path 0x%08x after network bytes were "
+               "written to the same path",
+               path)});
+    }
+  }
+};
+
+// --- fetched-code-exec -----------------------------------------------------
+// An indirect branch into a self executable allocation whose pointer was
+// handed to a kernel service while the program's own stores never fill
+// that allocation: the kernel delivered the code (atom fetch, recv, file
+// read) and the image runs it sight unseen. The atom-bombing victim pump
+// is exactly this — NtGetAtom writes the payload into the exec buffer, so
+// there is no copy loop for store-then-indirect to count.
+class FetchedCodeExecRule final : public Rule {
+ public:
+  const char* name() const override { return "fetched-code-exec"; }
+  Severity severity() const override { return Severity::kAlert; }
+  void run(const RuleContext& ctx, std::vector<SaFinding>& out) const override {
+    const std::set<u32> exec_allocs = self_exec_alloc_sites(ctx);
+    if (exec_allocs.empty()) return;
+    // Exec allocations the image fills itself through computed stores.
+    std::set<u32> self_filled;
+    for (const auto& [va, base] : ctx.df.mem_base_value) {
+      const vm::Instruction* insn = insn_at(ctx.cfg, va);
+      if (!insn || !vm::is_store(insn->op)) continue;
+      if (base.kind != ValKind::kConst && exec_allocs.count(base.origin)) {
+        self_filled.insert(base.origin);
+      }
+    }
+    // Exec allocations whose pointer later reaches a syscall argument;
+    // remember the first such service per allocation for the report.
+    std::map<u32, u32> kernel_filled;  // alloc site -> syscall number
+    for (const auto& [va, args] : ctx.df.syscall_args) {
+      for (int r = 1; r <= 4; ++r) {
+        const AbsVal& arg = args[r];
+        if (arg.kind == ValKind::kConst || arg.origin == va) continue;
+        if (!exec_allocs.count(arg.origin)) continue;
+        if (args[0].kind != ValKind::kConst) continue;
+        kernel_filled.emplace(arg.origin, args[0].c);
+      }
+    }
+    for (const auto& site : ctx.cfg.indirects) {
+      auto it = ctx.df.indirect_value.find(site.va);
+      if (it == ctx.df.indirect_value.end()) continue;
+      const AbsVal& v = it->second;
+      if (v.kind == ValKind::kConst) continue;
+      auto fill = kernel_filled.find(v.origin);
+      if (fill == kernel_filled.end() || self_filled.count(v.origin)) {
+        continue;
+      }
+      const vm::Instruction* insn = insn_at(ctx.cfg, site.va);
+      out.push_back(SaFinding{
+          name(), severity(), site.va, insn ? vm::disassemble(*insn) : "",
+          strf("%s into a self exec allocation (site 0x%08x) passed to %s "
+               "and never written by this image's stores",
+               vm::opcode_name(site.op), v.origin,
+               os::syscall_name(fill->second))});
+    }
   }
 };
 
@@ -307,6 +513,8 @@ const std::vector<std::unique_ptr<Rule>>& builtin_rules() {
     v->push_back(std::make_unique<WriteIntoCodeRule>());
     v->push_back(std::make_unique<StoreThenIndirectRule>());
     v->push_back(std::make_unique<InjectionSyscallRule>());
+    v->push_back(std::make_unique<DropAndExecuteRule>());
+    v->push_back(std::make_unique<FetchedCodeExecRule>());
     v->push_back(std::make_unique<SyscallUnresolvedFlowRule>());
     v->push_back(std::make_unique<EmbeddedCodeBlobRule>());
     v->push_back(std::make_unique<StackImbalanceRule>());

@@ -54,9 +54,18 @@ class Rule {
 
 /// The built-in registry, in stable registration order:
 ///   smc-write-to-code         (alert) store into statically reached code
-///   store-then-indirect       (alert) computed stores + jump out of image
+///   store-then-indirect       (alert) computed stores + jump out of image;
+///                                     downgrades to the warn-level
+///                                     "self-jit-emitter" when the image
+///                                     matches the declared JIT-host shape
+///                                     (const-endpoint code channel, pure
+///                                     staging-to-exec copy stores)
 ///   injection-syscall         (alert) WriteVirtualMemory / SetEntryPoint /
 ///                                     UnmapViewOfSection reachable
+///   drop-and-execute          (alert) network bytes written to a const
+///                                     path that is then NtCreateProcess'd
+///   fetched-code-exec         (alert) indirect branch into a self exec
+///                                     allocation only the kernel wrote
 ///   syscall-unresolved-flow   (warn)  syscalls behind opaque control flow
 ///   embedded-code-blob        (warn)  unreachable code-shaped region
 ///   stack-imbalance           (warn)  pop-heavy function (pivot shape)

@@ -1,0 +1,499 @@
+#include "sa/summary.h"
+
+#include <algorithm>
+
+namespace faros::sa {
+
+namespace {
+
+using vm::Opcode;
+
+u32 merge_origin(u32 a, u32 b) {
+  if (a == b) return a;
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return 0;
+}
+
+/// Summary-domain register state.
+struct SumState {
+  std::array<SumVal, vm::kNumRegs> regs{};
+  bool operator==(const SumState&) const = default;
+
+  static SumState identity() {
+    SumState s;
+    for (u32 i = 0; i < vm::kNumRegs; ++i) {
+      s.regs[i] = SumVal::param(static_cast<u8>(i));
+    }
+    return s;
+  }
+  static SumState all_varies() {
+    SumState s;
+    s.regs.fill(SumVal::varies());
+    return s;
+  }
+};
+
+/// rd = a op b in the summary domain. kParam survives additive arithmetic
+/// against constants, so stack adjustment and field offsets stay symbolic.
+SumVal fold_sum(Opcode op, const SumVal& a, const SumVal& b) {
+  bool loaded = a.from_load || b.from_load;
+  bool add = op == Opcode::kAdd || op == Opcode::kAddi;
+  bool sub = op == Opcode::kSub || op == Opcode::kSubi;
+  if (a.kind == SumKind::kParam && b.kind == SumKind::kConst && (add || sub)) {
+    SumVal r = SumVal::param(a.reg, add ? a.c + b.c : a.c - b.c);
+    r.from_load = loaded;
+    return r;
+  }
+  if (a.kind == SumKind::kConst && b.kind == SumKind::kParam && add) {
+    SumVal r = SumVal::param(b.reg, b.c + a.c);
+    r.from_load = loaded;
+    return r;
+  }
+  if (a.kind == SumKind::kConst && b.kind == SumKind::kConst) {
+    AbsVal f = fold_const(op, AbsVal::konst(a.c, a.from_load),
+                          AbsVal::konst(b.c, b.from_load));
+    if (f.kind == ValKind::kConst) return SumVal::konst(f.c, f.from_load);
+    return SumVal::varies(f.from_load, f.origin);
+  }
+  return SumVal::varies(loaded, merge_origin(a.origin, b.origin));
+}
+
+}  // namespace
+
+SumVal sum_join(const SumVal& a, const SumVal& b) {
+  if (a.kind == SumKind::kBot) {
+    SumVal r = b;
+    r.from_load = a.from_load || b.from_load;
+    return r;
+  }
+  if (b.kind == SumKind::kBot) {
+    SumVal r = a;
+    r.from_load = a.from_load || b.from_load;
+    return r;
+  }
+  bool loaded = a.from_load || b.from_load;
+  if (a.kind == b.kind) {
+    if (a.kind == SumKind::kConst && a.c == b.c) {
+      return SumVal::konst(a.c, loaded);
+    }
+    if (a.kind == SumKind::kParam && a.reg == b.reg && a.c == b.c) {
+      SumVal r = SumVal::param(a.reg, a.c);
+      r.from_load = loaded;
+      return r;
+    }
+  }
+  return SumVal::varies(loaded, merge_origin(a.origin, b.origin));
+}
+
+AbsVal apply_sum(const SumVal& v, const RegState& at_call) {
+  switch (v.kind) {
+    case SumKind::kConst: return AbsVal::konst(v.c, v.from_load);
+    case SumKind::kParam: {
+      AbsVal r = fold_const(Opcode::kAddi, at_call.regs[v.reg],
+                            AbsVal::konst(v.c));
+      r.from_load = r.from_load || v.from_load;
+      return r;
+    }
+    case SumKind::kVaries: return AbsVal::varies(v.from_load, v.origin);
+    case SumKind::kBot: break;  // unreached return path; be conservative
+  }
+  return AbsVal::varies(v.from_load, v.origin);
+}
+
+namespace {
+
+/// Maps a callee write fact through the caller's state at the call.
+WriteFact apply_write(const WriteFact& w, const SumState& at_call) {
+  if (w.kind != WriteFact::kParamRel) return w;
+  const SumVal& base = at_call.regs[w.reg];
+  switch (base.kind) {
+    case SumKind::kConst: return WriteFact{WriteFact::kConstEa, 0,
+                                           base.c + w.ea};
+    case SumKind::kParam: return WriteFact{WriteFact::kParamRel, base.reg,
+                                           base.c + w.ea};
+    default: return WriteFact{WriteFact::kUnknown, 0, 0};
+  }
+}
+
+void add_write(FuncSummary& s, const WriteFact& w) {
+  if (s.writes_unknown) return;
+  if (w.kind == WriteFact::kUnknown) {
+    s.writes_unknown = true;
+    s.writes.clear();
+    return;
+  }
+  if (std::find(s.writes.begin(), s.writes.end(), w) != s.writes.end()) return;
+  if (s.writes.size() >= kMaxWriteFacts) {
+    s.writes_unknown = true;
+    s.writes.clear();
+    return;
+  }
+  s.writes.push_back(w);
+}
+
+/// The conservative result for a function whose control flow the analysis
+/// cannot bound: callers assume every effect.
+FuncSummary clobbered(u32 entry) {
+  FuncSummary s;
+  s.entry = entry;
+  s.returns = true;
+  s.clobber_all = true;
+  s.can_store = s.can_load = s.can_syscall = true;
+  s.inert = false;
+  s.writes_unknown = true;
+  return s;
+}
+
+/// True when `blk`'s terminator has every edge descent would have
+/// attached — a dropped edge (escaping / misaligned target) or a missing
+/// terminator (truncated decode) makes the body's flow unbounded.
+bool block_flow_closed(const Cfg& cfg, const BasicBlock& blk) {
+  if (blk.insns.empty()) return false;
+  const vm::Instruction& term = blk.terminator();
+  if (!vm::ends_block(term.op)) {
+    // Not a real terminator: the block either fell into an existing block
+    // (fall edge present) or decode stopped at data / the blob end.
+    return blk.succs.size() == 1 && blk.succs[0].kind == EdgeKind::kFall;
+  }
+  auto count = [&](EdgeKind k) {
+    u32 n = 0;
+    for (const Edge& e : blk.succs) {
+      if (e.kind == k) ++n;
+    }
+    return n;
+  };
+  switch (term.op) {
+    case Opcode::kJmp: return count(EdgeKind::kTaken) == 1;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return count(EdgeKind::kTaken) == 1 && count(EdgeKind::kFall) == 1;
+    case Opcode::kJr: {
+      for (const IndirectSite& s : cfg.indirects) {
+        if (s.va == blk.insn_va(blk.insns.size() - 1)) {
+          return s.resolved && count(EdgeKind::kIndirect) == 1;
+        }
+      }
+      return false;
+    }
+    case Opcode::kCall:
+    case Opcode::kCallr:
+      // The callee side is the summary's job; intraprocedural flow only
+      // needs the fall-through to be present.
+      return count(EdgeKind::kFall) == 1;
+    case Opcode::kSyscall:
+    case Opcode::kBrk: return count(EdgeKind::kFall) == 1;
+    case Opcode::kRet:
+    case Opcode::kHalt: return true;
+    default: return false;
+  }
+}
+
+/// Computes one function's summary against the current table (callees in
+/// the same SCC may still hold their previous iterate).
+FuncSummary summarize(const Cfg& cfg, const Function& fn,
+                      const SummaryTable& table) {
+  if (!cfg.blocks.count(fn.entry)) return clobbered(fn.entry);
+  for (u32 bva : fn.blocks) {
+    auto it = cfg.blocks.find(bva);
+    if (it == cfg.blocks.end() || !block_flow_closed(cfg, it->second)) {
+      return clobbered(fn.entry);
+    }
+  }
+
+  FuncSummary s;
+  s.entry = fn.entry;
+
+  std::map<u32, SumState> block_in;
+  for (u32 bva : fn.blocks) block_in[bva];  // all kBot
+  block_in[fn.entry] = SumState::identity();
+
+  std::array<SumVal, vm::kNumRegs> ret_out{};
+  bool saw_ret = false;
+
+  std::set<u32> worklist{fn.entry};
+  u32 budget = 64 * static_cast<u32>(fn.blocks.size()) + 64;
+  while (!worklist.empty()) {
+    if (budget-- == 0) return clobbered(fn.entry);
+    u32 bva = *worklist.begin();
+    worklist.erase(worklist.begin());
+    const BasicBlock& blk = cfg.blocks.at(bva);
+
+    SumState st = block_in.at(bva);
+    for (size_t i = 0; i < blk.insns.size(); ++i) {
+      const vm::Instruction& insn = blk.insns[i];
+      u32 va = blk.insn_va(i);
+      u32 next = va + vm::kInsnSize;
+      auto& r = st.regs;
+      switch (insn.op) {
+        case Opcode::kMovi: r[insn.rd] = SumVal::konst(insn.imm); break;
+        case Opcode::kMov: r[insn.rd] = r[insn.rs1]; break;
+        case Opcode::kAddPc:
+          r[insn.rd] = SumVal::konst(next + insn.imm);
+          break;
+
+        case Opcode::kLd8:
+        case Opcode::kLd16:
+        case Opcode::kLd32:
+          s.can_load = true;
+          s.inert = false;
+          r[insn.rd] = SumVal::varies(true, va);
+          break;
+
+        case Opcode::kSt8:
+        case Opcode::kSt16:
+        case Opcode::kSt32: {
+          s.can_store = true;
+          s.inert = false;
+          SumVal ea = fold_sum(Opcode::kAddi, r[insn.rs1],
+                               SumVal::konst(insn.imm));
+          if (ea.kind == SumKind::kConst) {
+            add_write(s, WriteFact{WriteFact::kConstEa, 0, ea.c});
+          } else if (ea.kind == SumKind::kParam) {
+            add_write(s, WriteFact{WriteFact::kParamRel, ea.reg, ea.c});
+          } else {
+            add_write(s, WriteFact{WriteFact::kUnknown, 0, 0});
+          }
+          break;
+        }
+        case Opcode::kPush: {
+          s.can_store = true;
+          s.inert = false;
+          SumVal ea = fold_sum(Opcode::kSubi, r[vm::SP], SumVal::konst(4));
+          if (ea.kind == SumKind::kConst) {
+            add_write(s, WriteFact{WriteFact::kConstEa, 0, ea.c});
+          } else if (ea.kind == SumKind::kParam) {
+            add_write(s, WriteFact{WriteFact::kParamRel, ea.reg, ea.c});
+          } else {
+            add_write(s, WriteFact{WriteFact::kUnknown, 0, 0});
+          }
+          r[vm::SP] = fold_sum(Opcode::kSubi, r[vm::SP], SumVal::konst(4));
+          break;
+        }
+        case Opcode::kPop:
+          s.can_load = true;
+          s.inert = false;
+          r[insn.rd] = SumVal::varies(true, va);
+          if (insn.rd != vm::SP) {
+            r[vm::SP] = fold_sum(Opcode::kAddi, r[vm::SP], SumVal::konst(4));
+          }
+          break;
+
+        case Opcode::kDivu:
+          // taint_inert(kDivu) is false purely because a zero divisor
+          // traps; a proven non-zero constant divisor cannot.
+          if (!(r[insn.rs2].kind == SumKind::kConst && r[insn.rs2].c != 0)) {
+            s.inert = false;
+          }
+          r[insn.rd] = fold_sum(insn.op, r[insn.rs1], r[insn.rs2]);
+          break;
+
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+        case Opcode::kShl:
+        case Opcode::kShr:
+          if ((insn.op == Opcode::kXor || insn.op == Opcode::kSub) &&
+              insn.rs1 == insn.rs2) {
+            r[insn.rd] = SumVal::konst(0);
+          } else {
+            r[insn.rd] = fold_sum(insn.op, r[insn.rs1], r[insn.rs2]);
+          }
+          break;
+
+        case Opcode::kAddi:
+        case Opcode::kSubi:
+        case Opcode::kMuli:
+        case Opcode::kAndi:
+        case Opcode::kOri:
+        case Opcode::kXori:
+        case Opcode::kShli:
+        case Opcode::kShri:
+          r[insn.rd] = fold_sum(insn.op, r[insn.rs1],
+                                SumVal::konst(insn.imm));
+          break;
+
+        case Opcode::kSyscall:
+          s.can_syscall = true;
+          s.inert = false;
+          r[vm::R0] = SumVal::varies(true, va);
+          break;
+
+        case Opcode::kCall:
+        case Opcode::kCallr: r[vm::LR] = SumVal::konst(next); break;
+
+        default: break;  // stores/branches/cmp/ret/halt: no register effect
+      }
+    }
+
+    const vm::Instruction& term = blk.terminator();
+    bool fall_reachable = true;
+    if (vm::is_call(term.op)) {
+      // Apply the callee summary (or the sound unknown-callee fallback).
+      u32 site_va = blk.insn_va(blk.insns.size() - 1);
+      const FuncSummary* callee = nullptr;
+      for (const CallSite& cs : fn.call_sites) {
+        if (cs.va == site_va && cs.resolved) {
+          auto it = table.find(cs.target);
+          if (it != table.end()) callee = &it->second;
+          break;
+        }
+      }
+      if (!callee || callee->clobber_all) {
+        s.can_store = s.can_load = s.can_syscall = true;
+        s.inert = false;
+        s.writes_unknown = true;
+        s.writes.clear();
+        st = SumState::all_varies();
+      } else {
+        s.can_store = s.can_store || callee->can_store;
+        s.can_load = s.can_load || callee->can_load;
+        s.can_syscall = s.can_syscall || callee->can_syscall;
+        s.inert = s.inert && callee->inert;
+        if (callee->writes_unknown) {
+          s.writes_unknown = true;
+          s.writes.clear();
+        } else {
+          for (const WriteFact& w : callee->writes) {
+            add_write(s, apply_write(w, st));
+          }
+        }
+        if (!callee->returns) {
+          fall_reachable = false;
+        } else {
+          SumState after;
+          for (u32 i = 0; i < vm::kNumRegs; ++i) {
+            const SumVal& o = callee->out[i];
+            switch (o.kind) {
+              case SumKind::kConst:
+              case SumKind::kVaries: after.regs[i] = o; break;
+              case SumKind::kParam:
+                after.regs[i] = fold_sum(Opcode::kAddi, st.regs[o.reg],
+                                         SumVal::konst(o.c));
+                after.regs[i].from_load =
+                    after.regs[i].from_load || o.from_load;
+                break;
+              case SumKind::kBot:
+                after.regs[i] = SumVal::varies(o.from_load, o.origin);
+                break;
+            }
+          }
+          st = after;
+        }
+      }
+    }
+
+    if (term.op == Opcode::kRet) {
+      saw_ret = true;
+      for (u32 i = 0; i < vm::kNumRegs; ++i) {
+        ret_out[i] = sum_join(ret_out[i], st.regs[i]);
+      }
+    }
+
+    for (const Edge& e : blk.succs) {
+      if (e.kind == EdgeKind::kCall) continue;  // interproc, handled above
+      if (!fall_reachable) continue;
+      auto it = block_in.find(e.target);
+      if (it == block_in.end()) continue;  // outside this body
+      SumState merged;
+      for (u32 i = 0; i < vm::kNumRegs; ++i) {
+        merged.regs[i] = sum_join(it->second.regs[i], st.regs[i]);
+      }
+      if (!(merged == it->second)) {
+        it->second = merged;
+        worklist.insert(e.target);
+      }
+    }
+  }
+
+  for (u32 bva : fn.blocks) {
+    auto it = cfg.blocks.find(bva);
+    if (it != cfg.blocks.end()) {
+      s.insns += static_cast<u32>(it->second.insns.size());
+    }
+  }
+  s.returns = saw_ret;
+  if (saw_ret) s.out = ret_out;
+  return s;
+}
+
+}  // namespace
+
+SummaryTable compute_summaries(const Cfg& cfg, const CallGraph& cg) {
+  SummaryTable table;
+  for (const std::vector<u32>& scc : cg.sccs) {
+    bool recursive = scc.size() > 1;
+    if (!recursive) {
+      const Function& fn = *cg.function_of(scc[0]);
+      recursive = fn.callees.count(scc[0]) != 0;  // self-loop
+    }
+    if (!recursive) {
+      const Function& fn = *cg.function_of(scc[0]);
+      table[scc[0]] = summarize(cfg, fn, table);
+      continue;
+    }
+    // Recursive component: optimistic start (returns=false, no effects),
+    // then iterate to the least fixpoint. The domain is finite and every
+    // step is monotone; the round cap is a safety net, with the sound
+    // clobber-all result as the bail-out.
+    for (u32 entry : scc) {
+      FuncSummary s;
+      s.entry = entry;
+      table[entry] = s;
+    }
+    bool stable = false;
+    for (u32 round = 0; round < 32 && !stable; ++round) {
+      stable = true;
+      for (u32 entry : scc) {
+        FuncSummary next = summarize(cfg, *cg.function_of(entry), table);
+        const FuncSummary& prev = table[entry];
+        if (!(next.out == prev.out && next.returns == prev.returns &&
+              next.clobber_all == prev.clobber_all &&
+              next.can_store == prev.can_store &&
+              next.can_load == prev.can_load &&
+              next.can_syscall == prev.can_syscall &&
+              next.inert == prev.inert && next.writes == prev.writes &&
+              next.writes_unknown == prev.writes_unknown)) {
+          stable = false;
+        }
+        table[entry] = std::move(next);
+      }
+    }
+    if (!stable) {
+      for (u32 entry : scc) table[entry] = clobbered(entry);
+    }
+  }
+  return table;
+}
+
+bool SummaryCallModel::call_out(u32 site_va, bool has_target, u32 target,
+                                const RegState& at_call,
+                                RegState& out) const {
+  (void)site_va;
+  const FuncSummary* s = nullptr;
+  if (has_target) {
+    auto it = table_.find(target);
+    if (it != table_.end()) s = &it->second;
+  }
+  if (!s || s->clobber_all) {
+    out = RegState::all_varies();
+    return true;
+  }
+  if (!s->returns) {
+    out = RegState::all_varies();
+    return false;
+  }
+  for (u32 i = 0; i < vm::kNumRegs; ++i) {
+    out.regs[i] = apply_sum(s->out[i], at_call);
+  }
+  return true;
+}
+
+}  // namespace faros::sa

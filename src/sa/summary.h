@@ -1,0 +1,114 @@
+// Bottom-up interprocedural function summaries over the call graph
+// (sa/callgraph.h): per function, the register out-effects expressed in
+// the caller's frame (preserved-parameter + offset, constant, or
+// runtime-varying with the from_load/origin marks of sa/dataflow.h),
+// whether the function or anything it can reach may store, load, or
+// syscall, whether every instruction it can run is vm::taint_inert, and a
+// conservative set of written-address facts. Computed callee-first over
+// the SCC condensation with a fixpoint inside recursive components.
+//
+// SummaryCallModel plugs the table into run_dataflow, replacing the
+// historical clobber-every-register call semantics: a resolved callee's
+// effects are mapped through the caller's state at the call site, an
+// unresolved callee keeps the sound clobber-all fallback, and a callee
+// that provably never returns cuts the fall-through edge.
+#pragma once
+
+#include "sa/callgraph.h"
+#include "sa/dataflow.h"
+
+namespace faros::sa {
+
+enum class SumKind : u8 {
+  kBot = 0,  // no return path defined it (transient during the fixpoint)
+  kParam,    // caller's register `reg` at the call, plus offset `c`
+  kConst,    // known 32-bit constant
+  kVaries,   // runtime-dependent
+};
+
+/// Summary-domain value: like AbsVal, plus the kParam shape that keeps a
+/// function symbolic in its inputs ("returns arg2 + 8", "preserves SP").
+struct SumVal {
+  SumKind kind = SumKind::kBot;
+  u8 reg = 0;             // valid for kParam
+  u32 c = 0;              // kConst value / kParam additive offset
+  bool from_load = false;
+  u32 origin = 0;         // def-site va for runtime-derived values
+
+  bool operator==(const SumVal&) const = default;
+
+  static SumVal param(u8 r, u32 off = 0) {
+    return SumVal{SumKind::kParam, r, off, false, 0};
+  }
+  static SumVal konst(u32 v, bool loaded = false) {
+    return SumVal{SumKind::kConst, 0, v, loaded, 0};
+  }
+  static SumVal varies(bool loaded = false, u32 origin = 0) {
+    return SumVal{SumKind::kVaries, 0, 0, loaded, origin};
+  }
+};
+
+/// Lattice join for the summary domain (kBot is the identity).
+SumVal sum_join(const SumVal& a, const SumVal& b);
+
+/// One conservative written-address fact.
+struct WriteFact {
+  enum Kind : u8 {
+    kConstEa = 0,  // absolute address `ea`
+    kParamRel,     // caller register `reg` at the call, plus offset `ea`
+    kUnknown,      // computed address the summary cannot bound
+  };
+  Kind kind = kUnknown;
+  u8 reg = 0;
+  u32 ea = 0;
+
+  bool operator==(const WriteFact&) const = default;
+};
+
+/// Cap on distinct write facts per function; past it the set degrades to
+/// writes_unknown rather than growing without bound.
+inline constexpr u32 kMaxWriteFacts = 16;
+
+struct FuncSummary {
+  u32 entry = 0;
+  /// Register state at return, in the caller's frame. Valid when
+  /// `returns` and not `clobber_all`.
+  std::array<SumVal, vm::kNumRegs> out{};
+  bool returns = false;      // some path reaches a kRet
+  /// Intraprocedural control flow is opaque (unresolved kJr, a branch
+  /// with a dropped edge, or a truncated block): callers must assume
+  /// anything, exactly like the historical clobber-all call semantics.
+  bool clobber_all = false;
+  bool can_store = false;    // function or a callee may execute a store
+  bool can_load = false;     // ... a load
+  bool can_syscall = false;  // ... a syscall
+  /// Every instruction this function and its resolved callees can run is
+  /// vm::taint_inert (or a kDivu whose divisor is a proven non-zero
+  /// constant): calling it can neither move taint nor trap.
+  bool inert = true;
+  u32 insns = 0;             // body instruction count (excl. callees)
+  std::vector<WriteFact> writes;
+  bool writes_unknown = false;  // capped / unknown callee / clobber_all
+};
+
+/// Per-image summary table, keyed by function entry va.
+using SummaryTable = std::map<u32, FuncSummary>;
+
+/// Bottom-up computation over `cg.sccs` (callee-first). Deterministic.
+SummaryTable compute_summaries(const Cfg& cfg, const CallGraph& cg);
+
+/// Applies a summary table as run_dataflow call semantics.
+class SummaryCallModel final : public CallModel {
+ public:
+  explicit SummaryCallModel(const SummaryTable& table) : table_(table) {}
+  bool call_out(u32 site_va, bool has_target, u32 target,
+                const RegState& at_call, RegState& out) const override;
+
+ private:
+  const SummaryTable& table_;
+};
+
+/// Maps one summary value through the caller's state at the call site.
+AbsVal apply_sum(const SumVal& v, const RegState& at_call);
+
+}  // namespace faros::sa

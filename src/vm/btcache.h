@@ -40,6 +40,12 @@ struct TranslatedBlock {
   VAddr start_va = 0;
   PAddr start_pa = 0;
   bool inert = false;  // every instruction satisfies taint_inert()
+  /// Lazily resolved ExecHooks::block_elide_hint verdict for non-inert
+  /// blocks (static summary proof, content-hash matched by the plugin).
+  /// Reset naturally on retranslation: SMC evicts the block, and the fresh
+  /// TranslatedBlock re-asks against the new bytes.
+  bool hint_checked = false;
+  bool hint_elidable = false;
   std::vector<Instruction> insns;
 };
 

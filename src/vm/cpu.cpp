@@ -141,11 +141,13 @@ StepInfo Interpreter::run_blocks(CpuState& cpu, const AddressSpace& as,
     StepInfo one;
     if (!hooks_) {
       one = exec_cached<false>(cpu, as, *b, take);
-    } else if (take == n && b->inert &&
+    } else if (take == n && block_elidable(*b, as.cr3(), pc) &&
                hooks_->try_elide_block(as.cr3(), pc, b->start_pa,
                                        b->insns.data(), n)) {
-      // The plugin accounted for all n instructions itself; inert bodies
-      // cannot trap, so all n retire through the fast body.
+      // The plugin accounted for all n instructions itself; elidable
+      // bodies cannot trap (inert opcodes by construction, hint-approved
+      // kDivu by the plugin's constant-divisor proof), so all n retire
+      // through the fast body.
       one = exec_cached<false>(cpu, as, *b, n);
     } else {
       one = exec_cached<true>(cpu, as, *b, take);
@@ -156,6 +158,16 @@ StepInfo Interpreter::run_blocks(CpuState& cpu, const AddressSpace& as,
   info.result = StepResult::kBudget;
   info.executed = executed;
   return info;
+}
+
+bool Interpreter::block_elidable(TranslatedBlock& b, PAddr cr3, VAddr pc) {
+  if (b.inert) return true;
+  if (!b.hint_checked) {
+    b.hint_checked = true;
+    b.hint_elidable = hooks_->block_elide_hint(
+        cr3, pc, b.insns.data(), static_cast<u32>(b.insns.size()));
+  }
+  return b.hint_elidable;
 }
 
 template <bool kInstrumented>

@@ -113,6 +113,22 @@ class ExecHooks {
     (void)count;
     return false;
   }
+  /// Asked at most once per translated block that is *not* fully
+  /// taint_inert: does the plugin hold a static proof that this exact
+  /// instruction sequence may nevertheless be offered for elision (e.g. a
+  /// kDivu whose divisor is a proven non-zero constant)? The verdict is
+  /// cached on the TranslatedBlock; SMC evicts and retranslates, so a
+  /// changed body is re-asked against its new bytes. Returning true only
+  /// makes the block *eligible* — try_elide_block still runs its dynamic
+  /// guard on every dispatch.
+  virtual bool block_elide_hint(PAddr cr3, VAddr pc,
+                                const Instruction* insns, u32 count) {
+    (void)cr3;
+    (void)pc;
+    (void)insns;
+    (void)count;
+    return false;
+  }
 };
 
 /// Executes guest instructions. Holds the global instruction counter that
@@ -165,6 +181,10 @@ class Interpreter {
 
   /// Block-dispatch run loop (cache enabled).
   StepInfo run_blocks(CpuState& cpu, const AddressSpace& as, u64 max_insns);
+
+  /// Elision eligibility for a cached block: inert, or hint-approved by
+  /// the plugin (ExecHooks::block_elide_hint, asked once per translation).
+  bool block_elidable(TranslatedBlock& b, PAddr cr3, VAddr pc);
 
   /// Executes up to `count` predecoded instructions of a cached block,
   /// stopping early on traps/halt/syscall or when an eviction epoch change

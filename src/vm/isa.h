@@ -159,4 +159,10 @@ std::optional<u32> direct_target(const Instruction& insn, u32 va);
 /// Human-readable disassembly, e.g. "ld8 r1, [r2+16]".
 std::string disassemble(const Instruction& insn);
 
+/// FNV-1a over the decoded fields of an instruction sequence. The static
+/// analyzer stamps its block-level elision proofs with this (sa elide
+/// hints) and the engine recomputes it over a freshly translated block, so
+/// a proof can never be applied to bytes that changed since analysis.
+u64 insn_seq_hash(const Instruction* insns, size_t count);
+
 }  // namespace faros::vm

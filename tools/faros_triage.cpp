@@ -59,6 +59,12 @@ void usage() {
                "                   both machines and the engine's elision\n"
                "                   fast path (detection verdicts are\n"
                "                   byte-identical either way; CI pins this)\n"
+               "  --no-summary-elide\n"
+               "                   ignore static summary elide hints: only\n"
+               "                   per-opcode taint-inert blocks run the\n"
+               "                   uninstrumented fast body (detection\n"
+               "                   verdicts are byte-identical either way;\n"
+               "                   CI pins this)\n"
                "  --snapshot / --no-snapshot\n"
                "                   boot the guest once and run each job as a\n"
                "                   copy-on-write clone of the frozen image\n"
@@ -68,6 +74,11 @@ void usage() {
                "                   run the zero-execution static analyzer\n"
                "                   (src/sa) per job before record/replay and\n"
                "                   score it next to the dynamic verdicts\n"
+               "  --static-prune   mask rule triggers the static analyzer\n"
+               "                   proved unreachable per job, skipping their\n"
+               "                   hot-path input computation (detection and\n"
+               "                   per-rule eval counts are byte-identical\n"
+               "                   either way; CI pins this)\n"
                "  --policies PATH  load the confluence ruleset from a JSON\n"
                "                   policy file (replaces the built-ins and\n"
                "                   adds the policy-corpus jobs)\n"
@@ -120,9 +131,13 @@ int main(int argc, char** argv) {
       cfg.machine.kernel.block_cache = false;
       cfg.engine_opts.block_cache = false;
     }
+    else if (arg == "--no-summary-elide") {
+      cfg.engine_opts.summary_elide = false;
+    }
     else if (arg == "--snapshot") cfg.snapshot = true;
     else if (arg == "--no-snapshot") cfg.snapshot = false;
     else if (arg == "--static-prefilter") cfg.static_prefilter = true;
+    else if (arg == "--static-prune") cfg.static_prune = true;
     else if (arg == "--list-policies") list_policies = true;
     else if (arg == "--list") list_only = true;
     else if (arg == "--quiet") quiet = true;
