@@ -1,0 +1,590 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "vm/isa.h"
+#include "vm/mmu.h"
+#include "vm/phys_mem.h"
+
+namespace faros::core {
+
+using vm::Opcode;
+
+namespace {
+
+constexpr u16 reg_bit(u8 r) { return static_cast<u16>(1u << (r & 15)); }
+
+/// R1..R4 — the syscall argument registers (kSyscallArg subjects).
+constexpr u16 kSyscallArgMask = reg_bit(vm::R1) | reg_bit(vm::R2) |
+                                reg_bit(vm::R3) | reg_bit(vm::R4);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown.
+
+DiftPipeline::DiftPipeline(const os::Kernel& kernel,
+                           std::vector<Options> optss, size_t ring_capacity) {
+  if (optss.empty()) optss.emplace_back();
+  num_frames_ = kernel.phys_mem().num_frames();
+  frame_bits_.assign((num_frames_ + 63) / 64, 0);
+
+  engines_.reserve(optss.size());
+  for (Options& o : optss) {
+    engines_.push_back(std::make_unique<FarosEngine>(kernel, std::move(o)));
+  }
+
+  // Static rule-need bits: the producer's capture/elide decisions must be
+  // sound for EVERY consumer, so each bit is the OR across engines.
+  for (const auto& e : engines_) {
+    const RuleEngine& re = e->rule_engine();
+    fetch_rules_ |= re.has_rules(Trigger::kTaintedFetch);
+    load_rules_ |= re.has_rules(Trigger::kTaintedLoad);
+    store_rules_ |= re.has_rules(Trigger::kTaintedStore) ||
+                    re.has_rules(Trigger::kExecPageWrite);
+    syscall_rules_ |= re.has_rules(Trigger::kSyscallArg);
+    need_page_exec_ |= re.has_rules(Trigger::kExecPageWrite) ||
+                       re.needs_page_flags(Trigger::kTaintedStore);
+    addr_deps_ |= e->options().propagate_address_deps;
+  }
+  const Options& primary = engines_[0]->options();
+  block_cache_ = primary.block_cache;
+  summary_elide_ = primary.summary_elide;
+  elide_hints_ = &primary.elide_hints;
+
+  if (primary.collect_metrics) {
+    producer_sink_ = std::make_unique<obs::MetricSink>();
+    bt_elided_ = obs::Counter(producer_sink_.get(), obs::Ctr::kBtElidedBlocks);
+    bt_hint_ = obs::Counter(producer_sink_.get(), obs::Ctr::kBtHintBlocks);
+    elide_veto_ =
+        obs::Counter(producer_sink_.get(), obs::Ctr::kRingElideVeto);
+    windows_sent_ =
+        obs::Counter(producer_sink_.get(), obs::Ctr::kRingWindows);
+  }
+
+  rings_.reserve(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    rings_.push_back(std::make_unique<vm::TraceRing>(ring_capacity));
+  }
+  consumers_.reserve(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    consumers_.emplace_back([this, i] { consumer_loop(i); });
+  }
+}
+
+DiftPipeline::DiftPipeline(const os::Kernel& kernel, Options opts,
+                           size_t ring_capacity)
+    : DiftPipeline(kernel,
+                   [&] {
+                     std::vector<Options> v;
+                     v.push_back(std::move(opts));
+                     return v;
+                   }(),
+                   ring_capacity) {}
+
+DiftPipeline::~DiftPipeline() { finish(); }
+
+void DiftPipeline::drain() {
+  for (auto& r : rings_) r->drain();
+}
+
+void DiftPipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  vm::DiftEvent end;
+  end.kind = vm::DiftEvent::kEnd;
+  for (auto& r : rings_) r->push(end);
+  for (std::thread& t : consumers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+obs::MetricSnapshot DiftPipeline::metrics_snapshot() {
+  if (!finished_) drain();
+  obs::MetricSnapshot s = engines_[0]->metrics_snapshot();
+  if (producer_sink_) {
+    s.collected = true;
+    const obs::MetricSnapshot p = producer_sink_->snapshot();
+    for (u32 i = 0; i < obs::kCtrCount; ++i) s.counters[i] += p.counters[i];
+    // Ring transfer counters. Record/window pushes are a pure function of
+    // the event stream (deterministic); stalls/waits/depth are scheduling
+    // artifacts and live past kFirstNondetCtr, outside every serialised
+    // schema.
+    const vm::TraceRingStats rs = rings_[0]->stats();
+    s.counters[static_cast<u32>(obs::Ctr::kRingRecords)] += rs.records;
+    s.counters[static_cast<u32>(obs::Ctr::kRingProducerStalls)] +=
+        rs.producer_stalls;
+    s.counters[static_cast<u32>(obs::Ctr::kRingConsumerWaits)] +=
+        rs.consumer_waits;
+    s.counters[static_cast<u32>(obs::Ctr::kRingMaxDepth)] =
+        std::max(s.counters[static_cast<u32>(obs::Ctr::kRingMaxDepth)],
+                 rs.max_depth);
+  }
+  return s;
+}
+
+void DiftPipeline::push_all(const vm::DiftEvent& d) {
+  for (auto& r : rings_) r->push(d);
+}
+
+// ---------------------------------------------------------------------------
+// Producer: instruction stream.
+
+void DiftPipeline::on_run_begin() {
+  // Windows stay cached across quanta. This is sound because every path
+  // that changes guest memory bytes outside the instruction stream is a
+  // monitor hook (packet/file/image delivery, kernel writes, frame
+  // recycling on unmap) and every hook is a sync point that clears the
+  // cache; guest stores are handled by the exact overlap test in
+  // on_insn_retired; and cross-address-space VA aliasing is handled by
+  // the per-entry cr3 check in capture_window. Between-quanta kernel work
+  // that does NOT change bytes (scheduling, protection changes) cannot
+  // stale a window. The async-vs-sync byte-diff gates (CI, full corpus)
+  // pin this reasoning. Clearing here would be correct but costs a full
+  // re-capture burst per quantum on window-heavy workloads.
+}
+
+void DiftPipeline::invalidate_windows(VAddr va, u32 len) {
+  const u64 lo = va;
+  const u64 hi = lo + len;
+  for (WinEntry& e : win_cache_) {
+    if (e.valid && lo < e.hi && e.lo < hi) e.valid = false;
+  }
+}
+
+void DiftPipeline::capture_window(PAddr cr3, VAddr pc,
+                                  const vm::AddressSpace& as) {
+  WinEntry& e = win_cache_[(pc / vm::kInsnSize) & (kWinCacheSize - 1)];
+  if (e.valid && e.cr3 == cr3 && e.pc == pc) return;  // consumer copy fresh
+
+  // Exactly record_finding's live capture: the 96-byte window, else the
+  // 8-byte fallback, else nothing (the consumer-side map miss then
+  // degrades to the same unmapped-window shape the sync engine produces).
+  constexpr u32 kBefore = 4 * vm::kInsnSize;
+  constexpr u32 kAfter = 8 * vm::kInsnSize;
+  VAddr code_base = pc >= kBefore ? pc - kBefore : 0;
+  Bytes window(kBefore + kAfter);
+  if (!as.copy_out(code_base, window, /*user=*/false).ok()) {
+    window.assign(vm::kInsnSize, 0);
+    if (!as.copy_out(pc, window, /*user=*/false).ok()) return;
+    code_base = pc;
+  }
+
+  vm::DiftEvent h;
+  h.kind = vm::DiftEvent::kWindow;
+  h.cr3 = cr3;
+  h.pc = pc;
+  h.instr_index = code_base;
+  h.imm = static_cast<u32>(window.size());
+  const u32 nchunks = (h.imm + 63) / 64;
+  for (auto& r : rings_) {
+    r->push(h);
+    for (u32 c = 0; c < nchunks; ++c) {
+      vm::DiftEvent chunk;
+      const u32 off = c * 64;
+      std::memcpy(&chunk, window.data() + off, std::min<u32>(64, h.imm - off));
+      r->push(chunk);
+    }
+  }
+  windows_sent_.inc();
+  e.cr3 = cr3;
+  e.pc = pc;
+  e.lo = code_base;
+  e.hi = static_cast<u64>(code_base) + h.imm;
+  e.valid = true;
+  if (e.lo < win_lo_) win_lo_ = e.lo;
+  if (e.hi > win_hi_) win_hi_ = e.hi;
+}
+
+void DiftPipeline::on_insn_retired(const vm::InsnEvent& ev,
+                                   const vm::AddressSpace& as) {
+  const Opcode op = ev.insn.op;
+
+  // Resolve the record exactly as the synchronous engine does.
+  vm::DiftEvent d;
+  d.instr_index = ev.instr_index;
+  d.cr3 = ev.cr3;
+  d.pc = ev.pc;
+  d.pc_pa = ev.pc_pa;
+  d.op = static_cast<u8>(op);
+  d.rd = ev.insn.rd;
+  d.rs1 = ev.insn.rs1;
+  d.rs2 = ev.insn.rs2;
+  d.imm = ev.insn.imm;
+  if (ev.mem) {
+    d.flags |= vm::DiftEvent::kHasMem;
+    if (ev.mem->is_write) d.flags |= vm::DiftEvent::kIsWrite;
+    d.mem_va = ev.mem->va;
+    d.mem_pa = ev.mem->pa;
+    d.mem_size = ev.mem->size;
+    const u32 off = ev.mem->va & ShadowMemory::kPageMask;
+    if (off + ev.mem->size > ShadowMemory::kPageBytes) {
+      auto t = as.translate(
+          ev.mem->va + (ShadowMemory::kPageBytes - off),
+          ev.mem->is_write ? vm::AccessType::kWrite : vm::AccessType::kRead,
+          false);
+      if (t) {
+        d.mem_pa2 = *t;
+        d.flags |= vm::DiftEvent::kCrossesPage;
+      }
+    }
+  }
+
+  u16& rm = regmask(ev.cr3);
+
+  // A store into the byte range of a cached window forces re-capture (the
+  // store has already applied, so memory holds the post-store bytes — the
+  // same state the sync engine's live copy_out would observe at this
+  // insn). The aggregate-span test rejects the common case in two
+  // compares; only stores genuinely inside the span scan the cache.
+  if (ev.mem && ev.mem->is_write && ev.mem->va < win_hi_ &&
+      win_lo_ < static_cast<u64>(ev.mem->va) + ev.mem->size) {
+    invalidate_windows(ev.mem->va, ev.mem->size);
+  }
+
+  // Memory/register maybe-bits this insn reads, on the PRE-insn filter
+  // state — used by the capture decision, the page-exec pre-read, and the
+  // filter update below.
+  const bool mem_maybe =
+      ev.mem && (frame_maybe(ev.mem->pa) ||
+                 ((d.flags & vm::DiftEvent::kCrossesPage) != 0 &&
+                  frame_maybe(d.mem_pa2)));
+  u8 src = 0, base = 0;
+  bool val_maybe = false;  // store only: stored value may carry provenance
+  if (ev.mem) {
+    if (ev.mem->is_write) {
+      src = (op == Opcode::kPush) ? ev.insn.rs1 : ev.insn.rs2;
+      base = (op == Opcode::kPush) ? static_cast<u8>(vm::SP) : ev.insn.rs1;
+      val_maybe = (rm & reg_bit(src)) != 0 ||
+                  (addr_deps_ && (rm & reg_bit(base)) != 0);
+    } else {
+      base = (op == Opcode::kPop) ? static_cast<u8>(vm::SP) : ev.insn.rs1;
+    }
+  }
+
+  // Code-window capture for every *prospective* finding site: the filter
+  // conditions are conservative supersets of the trigger conditions, so
+  // every site record_finding can reach has a window stashed consumer-side
+  // before its kInsn record arrives.
+  bool want = fetch_rules_ && frame_maybe(ev.pc_pa);
+  if (!want && ev.mem) {
+    if (ev.mem->is_write) {
+      want = store_rules_ && val_maybe;
+    } else {
+      want = load_rules_ &&
+             (mem_maybe || (addr_deps_ && (rm & reg_bit(base)) != 0));
+    }
+  }
+  if (!want && op == Opcode::kSyscall) {
+    want = syscall_rules_ && (rm & kSyscallArgMask) != 0;
+  }
+  if (want) capture_window(ev.cr3, ev.pc, as);
+
+  // Pre-read the store target's exec page flag when some rule will look.
+  // The consumer reads the flag only when the store is actually tainted,
+  // which implies val_maybe, so gating the page-table probe on the filter
+  // loses nothing.
+  if (ev.mem && ev.mem->is_write && need_page_exec_ && val_maybe &&
+      (as.page_flags(ev.mem->va) & vm::kPteExec) != 0) {
+    d.flags |= vm::DiftEvent::kPageExec;
+  }
+
+  // Filter update — Table I on the maybe-lattice. Anything not listed
+  // writes no register. Invariant: actually-tainted implies bit set.
+  switch (op) {
+    case Opcode::kMovi:
+    case Opcode::kAddPc:
+      rm &= static_cast<u16>(~reg_bit(ev.insn.rd));
+      break;
+    case Opcode::kMov:
+    case Opcode::kAddi:
+    case Opcode::kSubi:
+    case Opcode::kMuli:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kShli:
+    case Opcode::kShri:
+      if ((rm & reg_bit(ev.insn.rs1)) != 0) {
+        rm |= reg_bit(ev.insn.rd);
+      } else {
+        rm &= static_cast<u16>(~reg_bit(ev.insn.rd));
+      }
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDivu:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+      if ((op == Opcode::kXor || op == Opcode::kSub) &&
+          ev.insn.rs1 == ev.insn.rs2) {
+        rm &= static_cast<u16>(~reg_bit(ev.insn.rd));  // zero idiom
+      } else if ((rm & (reg_bit(ev.insn.rs1) | reg_bit(ev.insn.rs2))) != 0) {
+        rm |= reg_bit(ev.insn.rd);
+      } else {
+        rm &= static_cast<u16>(~reg_bit(ev.insn.rd));
+      }
+      break;
+    case Opcode::kLd8:
+    case Opcode::kLd16:
+    case Opcode::kLd32:
+    case Opcode::kPop:
+      if (mem_maybe || (addr_deps_ && (rm & reg_bit(base)) != 0)) {
+        rm |= reg_bit(ev.insn.rd);
+      } else {
+        rm &= static_cast<u16>(~reg_bit(ev.insn.rd));
+      }
+      break;
+    case Opcode::kSt8:
+    case Opcode::kSt16:
+    case Opcode::kSt32:
+    case Opcode::kPush:
+      if (val_maybe && ev.mem) {
+        mark_frame(ev.mem->pa);
+        if ((d.flags & vm::DiftEvent::kCrossesPage) != 0) {
+          mark_frame(d.mem_pa2);
+        }
+      }
+      break;
+    case Opcode::kCall:
+    case Opcode::kCallr:
+      rm &= static_cast<u16>(~reg_bit(vm::LR));
+      break;
+    case Opcode::kSyscall:
+      rm &= static_cast<u16>(~reg_bit(vm::R0));
+      break;
+    default:
+      break;
+  }
+
+  push_all(d);
+}
+
+bool DiftPipeline::try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
+                                   const vm::Instruction* insns, u32 count) {
+  (void)pc;
+  (void)insns;
+  if (!block_cache_) return false;
+  // Producer-side guard, strictly stronger than the engines' dynamic
+  // guard: a clear register mask implies every engine's bank is clean, and
+  // an unmarked code frame implies no tainted fetch exists (so bound fetch
+  // rules cannot need per-insn events). Blocks the filter cannot clear go
+  // instrumented — a detection no-op, only fast-path metrics shift.
+  if (regmask(cr3) != 0) {
+    elide_veto_.inc();
+    return false;
+  }
+  if (fetch_rules_ && frame_maybe(start_pa)) {
+    elide_veto_.inc();
+    return false;
+  }
+  vm::DiftEvent d;
+  d.kind = vm::DiftEvent::kBulk;
+  d.cr3 = cr3;
+  d.mem_pa = start_pa;
+  d.imm = count;
+  push_all(d);
+  bt_elided_.inc();
+  return true;
+}
+
+bool DiftPipeline::block_elide_hint(PAddr cr3, VAddr pc,
+                                    const vm::Instruction* insns, u32 count) {
+  (void)cr3;
+  if (!summary_elide_ || !elide_hints_ || elide_hints_->empty()) return false;
+  auto it = elide_hints_->find(pc);
+  if (it == elide_hints_->end()) return false;
+  for (const auto& [n, hash] : it->second) {
+    if (n == count && vm::insn_seq_hash(insns, count) == hash) {
+      bt_hint_.inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Producer: monitor events (sync points).
+
+void DiftPipeline::sync_point() {
+  for (auto& r : rings_) r->drain();
+  // Hooks may mutate guest memory (delivering packet/file/image bytes);
+  // cached windows cannot be trusted across one.
+  clear_window_cache();
+}
+
+void DiftPipeline::mark_va_range(const vm::AddressSpace& as, VAddr va,
+                                 u32 len) {
+  if (len == 0) return;
+  const u64 end = static_cast<u64>(va) + len;
+  u64 p = va;
+  while (p < end) {
+    if (auto pa = as.translate(static_cast<VAddr>(p), vm::AccessType::kRead,
+                               false)) {
+      mark_frame(*pa);
+    }
+    p = (p & ~static_cast<u64>(vm::kPageSize - 1)) + vm::kPageSize;
+  }
+}
+
+void DiftPipeline::on_process_start(const osi::ProcessInfo& p) {
+  sync_point();
+  for (auto& e : engines_) e->on_process_start(p);
+}
+
+void DiftPipeline::on_process_exit(const osi::ProcessInfo& p, u32 exit_code) {
+  sync_point();
+  regmask_map_.erase(p.cr3);
+  rm_cached_ = nullptr;
+  for (auto& e : engines_) e->on_process_exit(p, exit_code);
+}
+
+void DiftPipeline::on_module_loaded(const osi::ModuleInfo& mod,
+                                    const vm::AddressSpace& kernel_as) {
+  sync_point();
+  // The engine tags the addr field of each [hash u32, addr u32] export
+  // entry; marking the whole entry array covers that.
+  mark_va_range(kernel_as, mod.exports_va,
+                4 + mod.export_count * 8);
+  for (auto& e : engines_) e->on_module_loaded(mod, kernel_as);
+}
+
+void DiftPipeline::on_packet_to_guest(const osi::GuestXfer& xfer,
+                                      const FlowTuple& flow,
+                                      const osi::PacketMeta& meta) {
+  sync_point();
+  mark_xfer(xfer);
+  for (auto& e : engines_) e->on_packet_to_guest(xfer, flow, meta);
+}
+
+void DiftPipeline::on_guest_send(const osi::GuestXfer& xfer,
+                                 const FlowTuple& flow,
+                                 const osi::PacketMeta& meta) {
+  sync_point();
+  mark_xfer(xfer);  // segment-shadow writebacks can re-tag buffer bytes
+  for (auto& e : engines_) e->on_guest_send(xfer, flow, meta);
+}
+
+void DiftPipeline::on_file_read(const osi::GuestXfer& xfer, u32 file_id,
+                                const std::string& path, u32 version,
+                                u32 file_offset) {
+  sync_point();
+  mark_xfer(xfer);
+  for (auto& e : engines_) {
+    e->on_file_read(xfer, file_id, path, version, file_offset);
+  }
+}
+
+void DiftPipeline::on_file_write(const osi::GuestXfer& xfer, u32 file_id,
+                                 const std::string& path, u32 version,
+                                 u32 file_offset) {
+  sync_point();
+  mark_xfer(xfer);  // the buffer itself gets the file tag
+  for (auto& e : engines_) {
+    e->on_file_write(xfer, file_id, path, version, file_offset);
+  }
+}
+
+void DiftPipeline::on_image_mapped(const osi::ProcessInfo& proc,
+                                   const vm::AddressSpace& as, VAddr base,
+                                   u32 len, u32 file_id,
+                                   const std::string& path, u32 version) {
+  sync_point();
+  mark_va_range(as, base, len);
+  for (auto& e : engines_) {
+    e->on_image_mapped(proc, as, base, len, file_id, path, version);
+  }
+}
+
+void DiftPipeline::on_iat_resolved(const osi::ProcessInfo& proc,
+                                   const vm::AddressSpace& as, VAddr slot_va) {
+  sync_point();
+  mark_va_range(as, slot_va, 4);
+  for (auto& e : engines_) e->on_iat_resolved(proc, as, slot_va);
+}
+
+void DiftPipeline::on_cross_process_write(const osi::GuestXfer& src,
+                                          const osi::GuestXfer& dst) {
+  sync_point();
+  mark_xfer(src);  // source bytes can gain the writer's process tag
+  mark_xfer(dst);
+  for (auto& e : engines_) e->on_cross_process_write(src, dst);
+}
+
+void DiftPipeline::on_atom_write(const osi::GuestXfer& xfer, u32 atom_id) {
+  sync_point();
+  mark_xfer(xfer);
+  for (auto& e : engines_) e->on_atom_write(xfer, atom_id);
+}
+
+void DiftPipeline::on_atom_read(const osi::GuestXfer& xfer, u32 atom_id) {
+  sync_point();
+  mark_xfer(xfer);
+  for (auto& e : engines_) e->on_atom_read(xfer, atom_id);
+}
+
+void DiftPipeline::on_kernel_write(const osi::GuestXfer& xfer) {
+  sync_point();
+  // Clears taint; the frames stay conservatively marked.
+  for (auto& e : engines_) e->on_kernel_write(xfer);
+}
+
+void DiftPipeline::on_frame_recycled(PAddr frame_base) {
+  sync_point();
+  clear_frame(frame_base);
+  for (auto& e : engines_) e->on_frame_recycled(frame_base);
+}
+
+// ---------------------------------------------------------------------------
+// Consumer.
+
+void DiftPipeline::consumer_loop(size_t idx) {
+  vm::TraceRing& ring = *rings_[idx];
+  FarosEngine& eng = *engines_[idx];
+  for (;;) {
+    const vm::DiftEvent* e = ring.front_wait();
+    switch (e->kind) {
+      case vm::DiftEvent::kInsn:
+        eng.propagate(*e);
+        ring.pop_front();
+        break;
+      case vm::DiftEvent::kBulk:
+        eng.account_elided(e->cr3, e->mem_pa, e->imm);
+        ring.pop_front();
+        break;
+      case vm::DiftEvent::kWindow: {
+        const PAddr cr3 = e->cr3;
+        const VAddr pc = e->pc;
+        const auto code_base = static_cast<VAddr>(e->instr_index);
+        const u32 len = e->imm;
+        ring.pop_front();
+        Bytes bytes(len);
+        u32 off = 0;
+        while (off < len) {
+          const vm::DiftEvent* chunk = ring.front_wait();
+          const u32 n = std::min<u32>(64, len - off);
+          std::memcpy(bytes.data() + off, chunk, n);
+          off += n;
+          if (off >= len) {
+            // Apply before releasing the final payload slot, so drain()
+            // can never observe a half-applied window.
+            eng.set_window(cr3, pc, code_base, std::move(bytes));
+          }
+          ring.pop_front();
+        }
+        break;
+      }
+      case vm::DiftEvent::kEnd:
+      default:
+        ring.pop_front();
+        return;
+    }
+  }
+}
+
+}  // namespace faros::core

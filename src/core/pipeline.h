@@ -1,0 +1,238 @@
+// DiftPipeline — the decoupled DIFT pipeline: asynchronous taint
+// propagation behind the synchronous interpreter.
+//
+// The hardware-DIFT architectures surveyed in PAPERS.md (Wahab et al.'s
+// ARM coprocessor line) split execution from tag propagation: the main
+// core runs the program and emits a compressed event trace; a decoupled
+// unit consumes the trace and maintains the tag state. This class is that
+// split in software. It attaches to a Machine in place of FarosEngine
+// (machine.attach_cpu_plugin(&pipe); machine.add_monitor(&pipe)) and:
+//
+//  * PRODUCER (the interpreter thread): resolves every retired
+//    instruction into a fixed-width vm::DiftEvent — physical addresses
+//    pre-translated, store page-exec flags pre-read — and appends it to a
+//    bounded SPSC ring per consumer. Elision-eligible inert blocks become
+//    one bulk record instead of per-instruction records, preserving the
+//    PR 7/9 fast paths.
+//  * CONSUMER(S): one worker thread per attached FarosEngine replays the
+//    stream through FarosEngine::propagate — the exact code path the
+//    synchronous mode runs inline — against that engine's shadow state
+//    and ruleset. Record-once/analyze-many: N engines with N different
+//    policies consume one execution for the price of one run.
+//
+// Determinism contract (what keeps async verdicts byte-identical to the
+// synchronous engine): the ring preserves the total retirement order;
+// every semantic event (GuestMonitor hook) is a sync point — the producer
+// drains the rings before touching any engine, so each engine observes
+// exactly the interleaving of instructions and events the synchronous
+// engine observes. Everything the consumer cannot recompute later
+// (physical translations, page flags, code windows around prospective
+// finding sites, process identity) is resolved by the producer at
+// retirement time and shipped in-band.
+//
+// The producer decides block elision without consulting consumer shadow
+// state, using a conservative taint filter (a per-CR3 register maybe-
+// tainted mask plus a physical-frame maybe-tainted bitmap, both updated
+// from the event stream it is itself emitting). The filter's "clean"
+// verdict is definitive — filter-clean implies engine-clean — so a
+// producer-approved elision is always one the synchronous guard would
+// have approved; blocks the filter cannot prove clean are simply sent
+// instrumented, which the consumer propagates to provably identical
+// verdict/finding/provenance state (see DESIGN.md §3j).
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "vm/trace_ring.h"
+
+namespace faros::core {
+
+class DiftPipeline : public vm::ExecHooks, public osi::GuestMonitor {
+ public:
+  /// One engine per Options entry (at least one); engines differ in
+  /// ruleset/policy only — the shared elision decision assumes the
+  /// propagation-relevant options (address deps, tag tracking) agree.
+  DiftPipeline(const os::Kernel& kernel, std::vector<Options> optss,
+               size_t ring_capacity = vm::TraceRing::kDefaultCapacity);
+  DiftPipeline(const os::Kernel& kernel, Options opts = {},
+               size_t ring_capacity = vm::TraceRing::kDefaultCapacity);
+  ~DiftPipeline() override;
+
+  DiftPipeline(const DiftPipeline&) = delete;
+  DiftPipeline& operator=(const DiftPipeline&) = delete;
+
+  /// Blocks until every consumer has processed every emitted record. On
+  /// return the engines are quiescent and safe to inspect from the
+  /// calling thread until the next instruction executes.
+  void drain();
+
+  /// Shuts the pipeline down: drains, sends the end sentinel, joins the
+  /// consumer threads. Idempotent; the destructor calls it. After
+  /// finish() the engines are plain single-threaded objects again.
+  void finish();
+
+  size_t engine_count() const { return engines_.size(); }
+  FarosEngine& engine(size_t i = 0) { return *engines_[i]; }
+  const FarosEngine& engine(size_t i = 0) const { return *engines_[i]; }
+
+  /// Primary engine's snapshot with the producer-side cells and ring
+  /// stats folded in (drains first). Producer and consumers account into
+  /// disjoint sinks — the fold at snapshot time is what makes the cells
+  /// safe without atomics; see the obs TSan test.
+  obs::MetricSnapshot metrics_snapshot();
+
+  /// Ring transfer stats for consumer `i` (valid after drain/finish).
+  vm::TraceRingStats ring_stats(size_t i = 0) const {
+    return rings_[i]->stats();
+  }
+
+  // --- vm::ExecHooks (producer side) ---
+  void on_run_begin() override;
+  void on_insn_retired(const vm::InsnEvent& ev,
+                       const vm::AddressSpace& as) override;
+  bool try_elide_block(PAddr cr3, VAddr pc, PAddr start_pa,
+                       const vm::Instruction* insns, u32 count) override;
+  bool block_elide_hint(PAddr cr3, VAddr pc, const vm::Instruction* insns,
+                        u32 count) override;
+
+  // --- osi::GuestMonitor (sync points; forwarded to every engine) ---
+  void on_process_start(const osi::ProcessInfo& p) override;
+  void on_process_exit(const osi::ProcessInfo& p, u32 exit_code) override;
+  void on_module_loaded(const osi::ModuleInfo& mod,
+                        const vm::AddressSpace& kernel_as) override;
+  void on_packet_to_guest(const osi::GuestXfer& xfer, const FlowTuple& flow,
+                          const osi::PacketMeta& meta = {}) override;
+  void on_guest_send(const osi::GuestXfer& xfer, const FlowTuple& flow,
+                     const osi::PacketMeta& meta = {}) override;
+  void on_file_read(const osi::GuestXfer& xfer, u32 file_id,
+                    const std::string& path, u32 version,
+                    u32 file_offset) override;
+  void on_file_write(const osi::GuestXfer& xfer, u32 file_id,
+                     const std::string& path, u32 version,
+                     u32 file_offset) override;
+  void on_image_mapped(const osi::ProcessInfo& proc,
+                       const vm::AddressSpace& as, VAddr base, u32 len,
+                       u32 file_id, const std::string& path,
+                       u32 version) override;
+  void on_iat_resolved(const osi::ProcessInfo& proc,
+                       const vm::AddressSpace& as, VAddr slot_va) override;
+  void on_cross_process_write(const osi::GuestXfer& src,
+                              const osi::GuestXfer& dst) override;
+  void on_atom_write(const osi::GuestXfer& xfer, u32 atom_id) override;
+  void on_atom_read(const osi::GuestXfer& xfer, u32 atom_id) override;
+  void on_kernel_write(const osi::GuestXfer& xfer) override;
+  void on_frame_recycled(PAddr frame_base) override;
+
+ private:
+  void consumer_loop(size_t idx);
+  void push_all(const vm::DiftEvent& d);
+  /// Monitor-hook prologue: drains every ring (engines quiescent, safe to
+  /// forward the hook) and invalidates the window cache.
+  void sync_point();
+
+  // --- conservative producer-side taint filter ---
+  // Register maybe-taint mask per CR3 (bit r set = register r may carry
+  // provenance) mirroring Table-I on the maybe-lattice, plus a physical-
+  // frame maybe-taint bitmap marked page-granularly by every taint-
+  // inserting monitor hook and by maybe-tainted stores. Invariant:
+  // actually-tainted implies marked; "all clear" is therefore proof.
+  u16& regmask(PAddr cr3) {
+    if (rm_cached_ && rm_cr3_ == cr3) return *rm_cached_;
+    u16& m = regmask_map_[cr3];
+    rm_cr3_ = cr3;
+    rm_cached_ = &m;
+    return m;
+  }
+  bool frame_maybe(PAddr pa) const {
+    const u64 f = pa >> vm::kPageShift;
+    return f < num_frames_ &&
+           (frame_bits_[f >> 6] & (1ull << (f & 63))) != 0;
+  }
+  void mark_frame(PAddr pa) {
+    const u64 f = pa >> vm::kPageShift;
+    if (f < num_frames_) frame_bits_[f >> 6] |= 1ull << (f & 63);
+  }
+  void clear_frame(PAddr pa) {
+    const u64 f = pa >> vm::kPageShift;
+    if (f < num_frames_) frame_bits_[f >> 6] &= ~(1ull << (f & 63));
+  }
+  /// Marks every frame a [va, va+len) guest range touches.
+  void mark_va_range(const vm::AddressSpace& as, VAddr va, u32 len);
+  void mark_xfer(const osi::GuestXfer& xfer) {
+    if (xfer.as) mark_va_range(*xfer.as, xfer.va, xfer.len);
+  }
+
+  // --- producer-side code-window capture ---
+  // Sync record_finding snapshots code around the pc at retirement time;
+  // the consumer has no address space, so the producer captures at the
+  // same machine moment for every *prospective* finding site (a static-
+  // rule-need × filter-maybe superset of actual sites) and ships the
+  // bytes in-band. A tiny direct-mapped cache suppresses re-sends while
+  // the bytes provably haven't changed: the cache is cleared every run()
+  // quantum (fencing all between-quanta kernel work) and whenever a
+  // guest store's byte range overlaps a cached window. Overlap is exact,
+  // not page-granular: [win_lo_, win_hi_) is the aggregate VA span of
+  // every cached window, so the common case — data stores away from code
+  // — is rejected with two compares, and a store inside the span only
+  // invalidates the entries it actually intersects. (Exactness matters:
+  // guests that keep writable data on their code page would otherwise
+  // thrash the cache into re-capturing every site per store.)
+  struct WinEntry {
+    PAddr cr3 = 0;
+    VAddr pc = 0;
+    u64 lo = 0, hi = 0;  // captured byte range [lo, hi)
+    bool valid = false;
+  };
+  static constexpr u32 kWinCacheSize = 64;  // power of two
+  void clear_window_cache() {
+    for (WinEntry& e : win_cache_) e.valid = false;
+    win_lo_ = ~0ull;
+    win_hi_ = 0;
+  }
+  /// Store-overlap invalidation: drops cached windows intersecting
+  /// [va, va+len). The aggregate span stays as-is (conservatively wide)
+  /// until the next full clear.
+  void invalidate_windows(VAddr va, u32 len);
+  void capture_window(PAddr cr3, VAddr pc, const vm::AddressSpace& as);
+
+  std::vector<std::unique_ptr<FarosEngine>> engines_;
+  std::vector<std::unique_ptr<vm::TraceRing>> rings_;
+  std::vector<std::thread> consumers_;
+  bool finished_ = false;
+
+  // Static rule-need bits, ORed across engines at construction.
+  bool fetch_rules_ = false;    // any kTaintedFetch rule bound
+  bool load_rules_ = false;     // any kTaintedLoad rule bound
+  bool store_rules_ = false;    // any kTaintedStore/kExecPageWrite rule
+  bool syscall_rules_ = false;  // any kSyscallArg rule bound
+  bool need_page_exec_ = false; // some rule reads store page flags
+  bool addr_deps_ = false;      // any engine propagates address deps
+  bool block_cache_ = false;    // primary engine approves elision
+  // Summary-elide hints (primary engine's options; stable storage).
+  bool summary_elide_ = false;
+  const std::map<VAddr, std::vector<std::pair<u32, u64>>>* elide_hints_ =
+      nullptr;
+
+  std::unordered_map<PAddr, u16> regmask_map_;
+  PAddr rm_cr3_ = 0;
+  u16* rm_cached_ = nullptr;
+  u64 num_frames_ = 0;
+  std::vector<u64> frame_bits_;
+
+  WinEntry win_cache_[kWinCacheSize];
+  u64 win_lo_ = ~0ull, win_hi_ = 0;  // aggregate span of cached windows
+
+  /// Producer-thread sink, disjoint from the engines' consumer-thread
+  /// sinks; folded into the primary snapshot (null when metrics off).
+  std::unique_ptr<obs::MetricSink> producer_sink_;
+  obs::Counter bt_elided_;
+  obs::Counter bt_hint_;
+  obs::Counter elide_veto_;
+  obs::Counter windows_sent_;
+};
+
+}  // namespace faros::core

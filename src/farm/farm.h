@@ -36,6 +36,13 @@ struct Snapshot;  // os/snapshot.h
 
 namespace faros::farm {
 
+/// One named ruleset for record-once/analyze-many fan-out
+/// (FarmConfig::extra_policies; faros_triage --policies a.json,b.json).
+struct PolicySet {
+  std::string name;  // label carried into JobResult::PolicyRun
+  std::vector<core::RuleSpec> rules;
+};
+
 struct FarmConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   u32 workers = 0;
@@ -69,6 +76,22 @@ struct FarmConfig {
   /// The snapshot is captured lazily on the first job and shared read-only
   /// across workers.
   bool snapshot = true;
+  /// Run taint propagation on decoupled consumer threads (the event-trace
+  /// producer/consumer pipeline, core/pipeline.h) instead of inline in the
+  /// interpreter. Verdicts, per-rule eval counters, provenance stats and
+  /// graph artifacts are byte-identical either way — the async-vs-sync CI
+  /// gate pins this over the full corpus. Off (--sync-dift) keeps the
+  /// historical synchronous engine for A/B comparison.
+  bool async_dift = true;
+  /// Trace-ring slots per consumer (rounded up to a power of two by the
+  /// ring; 0 = vm::TraceRing::kDefaultCapacity). Small rings exercise
+  /// backpressure; the default trades ~1 MiB per consumer for slack.
+  size_t ring_capacity = 0;
+  /// Record-once/analyze-many: extra rule sets evaluated against the same
+  /// replay. Async mode tees the one event trace to one consumer engine
+  /// per set; sync mode replays the recording once per set. Results land
+  /// in JobResult::policy_runs in this order.
+  std::vector<PolicySet> extra_policies;
   /// Engine options applied to every job's replay.
   core::Options engine_opts;
   /// Per-machine config for record and replay.

@@ -68,6 +68,21 @@ struct JobResult {
   u32 retries = 0;               // transient-error retries consumed
   std::string error;             // message for kError
 
+  /// Record-once/analyze-many (FarmConfig::extra_policies): one extra
+  /// verdict per additional policy set evaluated against the same replay.
+  /// In async mode the event trace is teed to one consumer engine per set
+  /// (a single execution); in sync mode each set replays the recording
+  /// sequentially — the results are byte-identical, which the fan-out
+  /// equivalence test pins. Order follows FarmConfig::extra_policies.
+  struct PolicyRun {
+    std::string name;
+    bool flagged = false;
+    u32 findings = 0;
+    u32 suppressed = 0;
+    std::vector<std::string> policies;  // sorted unique rule ids that fired
+  };
+  std::vector<PolicyRun> policy_runs;
+
   /// Per-rule evaluation/hit counts from the replay engine's RuleEngine,
   /// in engine rule order (deterministic given the spec + ruleset, and
   /// identical whether the rules came from the built-ins or a policy file

@@ -20,6 +20,22 @@ std::string policies_json(const std::vector<std::string>& policies) {
   return out;
 }
 
+std::string policy_runs_json(const std::vector<JobResult::PolicyRun>& runs) {
+  std::string out = "[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i) out += ',';
+    JsonWriter w;
+    w.field("name", runs[i].name)
+        .field("flagged", runs[i].flagged)
+        .field("findings", runs[i].findings)
+        .field("suppressed", runs[i].suppressed)
+        .raw_field("policies", policies_json(runs[i].policies));
+    out += w.str();
+  }
+  out += ']';
+  return out;
+}
+
 std::string rules_json(const std::vector<JobResult::RuleCount>& rules) {
   std::string out = "[";
   for (size_t i = 0; i < rules.size(); ++i) {
@@ -62,6 +78,11 @@ std::string job_jsonl(const JobResult& r) {
   // ruleset came from the built-ins or an equivalent policy file — the
   // CI default-vs-file byte-diff depends on that.
   if (!r.rules.empty()) w.raw_field("rules", rules_json(r.rules));
+  // Record-once/analyze-many verdicts, present only when extra policy sets
+  // were configured — streams from single-policy runs stay byte-identical.
+  if (!r.policy_runs.empty()) {
+    w.raw_field("policy_runs", policy_runs_json(r.policy_runs));
+  }
   // Graph-export fields are appended only when FarmConfig::graph_out was
   // set, so streams from runs without it stay byte-for-byte unchanged.
   if (r.graph_built) {

@@ -1,0 +1,313 @@
+#include "farm/triage_cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/rules.h"
+
+namespace faros::farm {
+
+namespace {
+
+// Every boolean feature goes through this table, which is what guarantees
+// the `--X` / `--no-X` pairing: the parser derives both spellings from
+// `name`, and render_triage_cli() walks the same table, so a flag cannot
+// gain a positive form without its negative (or vice versa).
+struct BoolFlag {
+  const char* name;   // "block-cache" → --block-cache / --no-block-cache
+  const char* no_alias;  // extra spelling for the negative form, or nullptr
+  const char* help;
+  void (*set)(TriageCliOptions&, bool);
+  bool (*get)(const TriageCliOptions&);
+};
+
+constexpr BoolFlag kBoolFlags[] = {
+    {"block-cache", nullptr,
+     "per-CR3 block-translation cache in both machines plus the engine's\n"
+     "                   elision fast path (default: on; verdicts are\n"
+     "                   byte-identical either way; CI pins this)",
+     [](TriageCliOptions& o, bool v) {
+       o.farm.machine.kernel.block_cache = v;
+       o.farm.engine_opts.block_cache = v;
+     },
+     [](const TriageCliOptions& o) { return o.farm.engine_opts.block_cache; }},
+    {"summary-elide", nullptr,
+     "static summary elide hints; off = only per-opcode taint-inert\n"
+     "                   blocks run the uninstrumented fast body (default:\n"
+     "                   on; byte-identical verdicts; CI pins this)",
+     [](TriageCliOptions& o, bool v) { o.farm.engine_opts.summary_elide = v; },
+     [](const TriageCliOptions& o) {
+       return o.farm.engine_opts.summary_elide;
+     }},
+    {"snapshot", nullptr,
+     "boot the guest once and run each job as a copy-on-write clone of\n"
+     "                   the frozen image (default: on; byte-identical\n"
+     "                   verdicts; CI pins this)",
+     [](TriageCliOptions& o, bool v) { o.farm.snapshot = v; },
+     [](const TriageCliOptions& o) { return o.farm.snapshot; }},
+    {"static-prefilter", nullptr,
+     "run the zero-execution static analyzer (src/sa) per job before\n"
+     "                   record/replay and score it next to the dynamic\n"
+     "                   verdicts (default: off)",
+     [](TriageCliOptions& o, bool v) { o.farm.static_prefilter = v; },
+     [](const TriageCliOptions& o) { return o.farm.static_prefilter; }},
+    {"static-prune", nullptr,
+     "mask rule triggers the static analyzer proved unreachable per\n"
+     "                   job, skipping their hot-path input computation\n"
+     "                   (default: off; byte-identical detection and\n"
+     "                   per-rule eval counts; CI pins this)",
+     [](TriageCliOptions& o, bool v) { o.farm.static_prune = v; },
+     [](const TriageCliOptions& o) { return o.farm.static_prune; }},
+    {"async-dift", "sync-dift",
+     "decoupled producer/consumer taint pipeline (core/pipeline.h):\n"
+     "                   the interpreter streams event records to consumer\n"
+     "                   threads that replay propagation. --sync-dift keeps\n"
+     "                   the historical inline engine (default: async;\n"
+     "                   byte-identical verdicts; CI pins this)",
+     [](TriageCliOptions& o, bool v) { o.farm.async_dift = v; },
+     [](const TriageCliOptions& o) { return o.farm.async_dift; }},
+    {"quiet", nullptr, "suppress the per-job console lines (default: off)",
+     [](TriageCliOptions& o, bool v) { o.quiet = v; },
+     [](const TriageCliOptions& o) { return o.quiet; }},
+};
+
+bool parse_u64(const std::string& s, u64* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (!end || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// "dir/cross_proc.json" → "cross_proc" — the PolicySet label carried into
+/// every JobResult::PolicyRun and the policy_runs JSONL field.
+std::string path_stem(const std::string& path) {
+  size_t slash = path.find_last_of("/\\");
+  size_t base = slash == std::string::npos ? 0 : slash + 1;
+  size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot <= base) dot = path.size();
+  return path.substr(base, dot - base);
+}
+
+}  // namespace
+
+TriageCliResult parse_triage_cli(const std::vector<std::string>& args) {
+  TriageCliResult r;
+  TriageCliOptions& o = r.opts;
+  if (const char* env = std::getenv("FAROS_METRICS_JSON")) {
+    o.metrics_path = env;
+  }
+
+  u64 workers = 0, ring_capacity = 0;
+  for (size_t i = 0; i < args.size() && r.ok(); ++i) {
+    const std::string& arg = args[i];
+    auto next_str = [&](std::string* out) {
+      if (i + 1 >= args.size()) {
+        r.error = arg + " needs a value";
+        return;
+      }
+      *out = args[++i];
+    };
+    auto next_u64 = [&](u64* out) {
+      if (i + 1 >= args.size() || !parse_u64(args[i + 1], out)) {
+        r.error = arg + " needs a number";
+        return;
+      }
+      ++i;
+    };
+
+    if (arg == "--help" || arg == "-h") { o.help = true; continue; }
+    if (arg == "--list") { o.list_only = true; continue; }
+    if (arg == "--list-policies") { o.list_policies = true; continue; }
+    if (arg == "--workers") { next_u64(&workers); continue; }
+    if (arg == "--jobs") { next_u64(&o.max_jobs); continue; }
+    if (arg == "--timeout-ms") { next_u64(&o.farm.timeout_ms); continue; }
+    if (arg == "--budget") { next_u64(&o.budget); continue; }
+    if (arg == "--ring-capacity") { next_u64(&ring_capacity); continue; }
+    if (arg == "--filter") { next_str(&o.filter); continue; }
+    if (arg == "--category") { next_str(&o.category); continue; }
+    if (arg == "--out") { next_str(&o.out_path); continue; }
+    if (arg == "--metrics") { next_str(&o.metrics_path); continue; }
+    if (arg == "--graph-out") { next_str(&o.farm.graph_out); continue; }
+    if (arg == "--policies") {
+      std::string csv;
+      next_str(&csv);
+      if (r.ok()) o.policy_paths = split_csv(csv);
+      continue;
+    }
+
+    bool matched = false;
+    for (const BoolFlag& f : kBoolFlags) {
+      if (arg == std::string("--") + f.name) {
+        f.set(o, true);
+        matched = true;
+      } else if (arg == std::string("--no-") + f.name ||
+                 (f.no_alias && arg == std::string("--") + f.no_alias)) {
+        f.set(o, false);
+        matched = true;
+      }
+      if (matched) break;
+    }
+    if (!matched) r.error = "unknown option '" + arg + "'";
+  }
+  if (r.ok()) {
+    o.farm.workers = static_cast<u32>(workers);
+    o.farm.ring_capacity = static_cast<size_t>(ring_capacity);
+  }
+  return r;
+}
+
+std::string triage_usage() {
+  std::string out =
+      "usage: faros_triage [options]\n"
+      "\n"
+      "corpus selection:\n"
+      "  --jobs N         run at most N jobs (default: all)\n"
+      "  --filter STR     only jobs whose name contains STR\n"
+      "  --category STR   only jobs in this category\n"
+      "                   (injection | jit | malware | benign | policy)\n"
+      "  --list           print the job catalogue and exit\n"
+      "\n"
+      "execution:\n"
+      "  --workers N      worker threads (default: hardware)\n"
+      "  --timeout-ms N   per-job wall-clock deadline (default 60000;\n"
+      "                   0 = none)\n"
+      "  --budget N       per-job instruction budget override\n"
+      "  --ring-capacity N\n"
+      "                   trace-ring slots per DIFT consumer (rounded up\n"
+      "                   to a power of two; default 16384; small values\n"
+      "                   exercise backpressure)\n"
+      "\n"
+      "policies:\n"
+      "  --policies A[,B,...]\n"
+      "                   load confluence rulesets from JSON policy files.\n"
+      "                   The first replaces the built-ins; each further\n"
+      "                   file runs record-once/analyze-many against the\n"
+      "                   same replay (one verdict per set in the\n"
+      "                   policy_runs JSONL field). Also adds the\n"
+      "                   policy-corpus jobs.\n"
+      "  --list-policies  print the effective primary ruleset as\n"
+      "                   policy-file JSON and exit\n"
+      "\n"
+      "output:\n"
+      "  --out PATH       write JSONL records + summary to PATH\n"
+      "  --metrics PATH   write per-job obs counter JSONL to PATH\n"
+      "                   (or set FAROS_METRICS_JSON)\n"
+      "  --graph-out DIR  write one provenance-graph artifact per job to\n"
+      "                   DIR/<job>.fpg (src/graph format; byte-identical\n"
+      "                   for any --workers)\n"
+      "\n"
+      "features (every switch has a paired --X / --no-X form):\n";
+  for (const BoolFlag& f : kBoolFlags) {
+    out += "  --";
+    out += f.name;
+    out += " / --no-";
+    out += f.name;
+    if (f.no_alias) {
+      out += " (alias --";
+      out += f.no_alias;
+      out += ")";
+    }
+    out += "\n                   ";
+    out += f.help;
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> render_triage_cli(const TriageCliOptions& o) {
+  const TriageCliOptions def;
+  std::vector<std::string> out;
+  auto num = [](u64 v) { return std::to_string(v); };
+
+  if (o.max_jobs) { out.push_back("--jobs"); out.push_back(num(o.max_jobs)); }
+  if (!o.filter.empty()) { out.push_back("--filter"); out.push_back(o.filter); }
+  if (!o.category.empty()) {
+    out.push_back("--category");
+    out.push_back(o.category);
+  }
+  if (o.farm.workers) {
+    out.push_back("--workers");
+    out.push_back(num(o.farm.workers));
+  }
+  if (o.farm.timeout_ms != def.farm.timeout_ms) {
+    out.push_back("--timeout-ms");
+    out.push_back(num(o.farm.timeout_ms));
+  }
+  if (o.budget) { out.push_back("--budget"); out.push_back(num(o.budget)); }
+  if (o.farm.ring_capacity) {
+    out.push_back("--ring-capacity");
+    out.push_back(num(o.farm.ring_capacity));
+  }
+  if (!o.policy_paths.empty()) {
+    std::string csv;
+    for (size_t i = 0; i < o.policy_paths.size(); ++i) {
+      if (i) csv += ',';
+      csv += o.policy_paths[i];
+    }
+    out.push_back("--policies");
+    out.push_back(csv);
+  }
+  if (!o.out_path.empty()) { out.push_back("--out"); out.push_back(o.out_path); }
+  if (!o.metrics_path.empty()) {
+    out.push_back("--metrics");
+    out.push_back(o.metrics_path);
+  }
+  if (!o.farm.graph_out.empty()) {
+    out.push_back("--graph-out");
+    out.push_back(o.farm.graph_out);
+  }
+  // Boolean features are always rendered explicitly — the canonical argv is
+  // self-describing even if a default flips later. The negative spelling
+  // prefers the alias (--sync-dift) where one exists.
+  for (const BoolFlag& f : kBoolFlags) {
+    if (f.get(o)) {
+      out.push_back(std::string("--") + f.name);
+    } else if (f.no_alias) {
+      out.push_back(std::string("--") + f.no_alias);
+    } else {
+      out.push_back(std::string("--no-") + f.name);
+    }
+  }
+  if (o.list_only) out.push_back("--list");
+  if (o.list_policies) out.push_back("--list-policies");
+  return out;
+}
+
+std::string load_policy_files(TriageCliOptions& o) {
+  for (size_t i = 0; i < o.policy_paths.size(); ++i) {
+    const std::string& path = o.policy_paths[i];
+    FILE* pf = std::fopen(path.c_str(), "rb");
+    if (!pf) return "cannot open '" + path + "'";
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pf)) > 0) text.append(buf, n);
+    std::fclose(pf);
+    auto rules = core::parse_ruleset_json(text);
+    if (!rules.ok()) return path + ": " + rules.error().message;
+    if (i == 0) {
+      o.farm.engine_opts.rules = std::move(rules).take();
+    } else {
+      o.farm.extra_policies.push_back(
+          PolicySet{path_stem(path), std::move(rules).take()});
+    }
+  }
+  return "";
+}
+
+}  // namespace faros::farm

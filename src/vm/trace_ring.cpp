@@ -1,0 +1,48 @@
+#include "vm/trace_ring.h"
+
+#include <cstdio>
+#include <string>
+
+#include "vm/isa.h"
+
+namespace faros::vm {
+
+const char* dift_event_kind_name(u8 kind) {
+  switch (kind) {
+    case DiftEvent::kInsn: return "insn";
+    case DiftEvent::kBulk: return "bulk";
+    case DiftEvent::kWindow: return "window";
+    case DiftEvent::kEnd: return "end";
+    default: return "?";
+  }
+}
+
+std::string describe(const DiftEvent& e) {
+  std::string out = dift_event_kind_name(e.kind);
+  switch (e.kind) {
+    case DiftEvent::kInsn: {
+      Instruction insn{static_cast<Opcode>(e.op), e.rd, e.rs1, e.rs2, e.imm};
+      out += " #" + std::to_string(e.instr_index) + " " + disassemble(insn);
+      if (e.flags & DiftEvent::kHasMem) {
+        out += (e.flags & DiftEvent::kIsWrite) ? " st@" : " ld@";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%08x/%llx", e.mem_va,
+                      static_cast<unsigned long long>(e.mem_pa));
+        out += buf;
+      }
+      break;
+    }
+    case DiftEvent::kBulk:
+      out += " pa=" + std::to_string(e.mem_pa) +
+             " insns=" + std::to_string(e.imm);
+      break;
+    case DiftEvent::kWindow:
+      out += " pc=" + std::to_string(e.pc) +
+             " len=" + std::to_string(e.imm);
+      break;
+    default: break;
+  }
+  return out;
+}
+
+}  // namespace faros::vm

@@ -1,0 +1,207 @@
+// Compact DIFT event trace + single-producer/single-consumer ring.
+//
+// The decoupled pipeline (core/pipeline.h) reproduces the hardware-DIFT
+// split in software: the interpreter thread *emits* fixed-width event
+// records describing each retired instruction, and a worker thread
+// *consumes* them, replaying the stream against shadow memory and the
+// rule engine. This header is the wire format and the queue; it knows
+// nothing about taint.
+//
+// Record design. Every record is exactly 64 bytes (one cache line) so the
+// ring never splits a record across lines and the producer's store stream
+// stays sequential. An instruction record carries everything the consumer
+// needs *pre-resolved*: physical addresses for the fetch and for both
+// pages a memory access can touch. Resolving on the producer side is what
+// makes the consumer address-space-free — it never walks page tables, so
+// guest page-table state can keep mutating under the producer while the
+// consumer lags arbitrarily far behind.
+//
+// Ring protocol (SPSC, bounded, blocking):
+//  * `produced_`/`consumed_` are free-running u64 slot counters; the
+//    depth is their difference, capacity is a power of two.
+//  * The producer blocks (spin + yield) when the ring is full —
+//    backpressure, never loss. The consumer advances `consumed_` only
+//    AFTER it has fully processed a record, so `drain()` returning means
+//    the consumer holds no half-applied record: the engine behind it is
+//    quiescent and safe to inspect from the producer thread. Every
+//    monitor event in the pipeline is such a sync point.
+//  * Each side caches the other's counter and refreshes it only on
+//    apparent full/empty, so steady-state transfer costs one release
+//    store per record per side.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/types.h"
+
+namespace faros::vm {
+
+/// One fixed-width trace record. Interpretation depends on `kind`.
+struct DiftEvent {
+  enum Kind : u8 {
+    kInsn = 0,         // one retired instruction
+    kBulk = 1,         // elided inert block: cr3/mem_pa=start_pa/imm=count
+    kWindow = 2,       // code-window header; `imm` raw payload slots follow
+    kEnd = 3,          // producer shutdown sentinel
+  };
+  enum Flags : u8 {
+    kHasMem = 1 << 0,       // mem_* fields valid
+    kIsWrite = 1 << 1,      // memory access is a store
+    kCrossesPage = 1 << 2,  // access straddles a page; mem_pa2 valid
+    kPageExec = 1 << 3,     // store target page had PTE exec (pre-resolved)
+  };
+
+  u64 instr_index = 0;  // kInsn: retirement index; kWindow: code_base va
+  u64 cr3 = 0;
+  u64 pc_pa = 0;        // physical address of the fetched instruction
+  u64 mem_pa = 0;       // kInsn: first byte's pa; kBulk: block start_pa
+  u64 mem_pa2 = 0;      // pa of the first byte on the second page (kCrossesPage)
+  u32 pc = 0;
+  u32 mem_va = 0;
+  u32 imm = 0;          // kInsn: insn immediate; kBulk: insn count;
+                        // kWindow: payload byte length
+  u8 op = 0;            // vm::Opcode
+  u8 rd = 0, rs1 = 0, rs2 = 0;
+  u8 mem_size = 0;
+  u8 flags = 0;
+  u8 kind = kInsn;
+  u8 pad_ = 0;
+};
+static_assert(sizeof(DiftEvent) == 64, "one record per cache line");
+
+/// Producer-side counters (read after the consumer thread joined, or from
+/// the producer thread itself). Plain integers: src/vm keeps zero obs
+/// dependency; the pipeline folds them into the metrics stream.
+struct TraceRingStats {
+  u64 records = 0;          // slots pushed (incl. window payload slots)
+  u64 producer_stalls = 0;  // yield loops while the ring was full
+  u64 consumer_waits = 0;   // yield loops while the ring was empty
+  u64 max_depth = 0;        // high-water slot occupancy seen by the producer
+};
+
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 8 slots.
+  explicit TraceRing(size_t capacity = kDefaultCapacity) {
+    size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    cap_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<DiftEvent[]>(cap_);
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  size_t capacity() const { return cap_; }
+
+  // --- producer side ---
+
+  /// Appends a record; blocks (spin + yield) while the ring is full.
+  void push(const DiftEvent& e) {
+    const u64 p = produced_.load(std::memory_order_relaxed);
+    while (p - cached_consumed_ == cap_) {
+      cached_consumed_ = consumed_.load(std::memory_order_acquire);
+      if (p - cached_consumed_ == cap_) {
+        ++stats_.producer_stalls;
+        std::this_thread::yield();
+      }
+    }
+    slots_[p & mask_] = e;
+    produced_.store(p + 1, std::memory_order_release);
+    ++stats_.records;
+    const u64 depth = p + 1 - cached_consumed_;
+    if (depth > stats_.max_depth) stats_.max_depth = depth;
+  }
+
+  /// Blocks until the consumer has processed every pushed record. On
+  /// return the consumer thread is not holding any record (it advances
+  /// `consumed_` only after finishing one), so state it mutates is safe
+  /// to touch from the caller until more records are pushed.
+  void drain() {
+    const u64 p = produced_.load(std::memory_order_relaxed);
+    while (consumed_.load(std::memory_order_acquire) != p) {
+      std::this_thread::yield();
+    }
+    cached_consumed_ = p;
+  }
+
+  // --- consumer side ---
+
+  /// Oldest unconsumed record, or nullptr when the ring is empty. Does
+  /// not advance; call `pop_front()` after the record is fully processed.
+  ///
+  /// Issues prefetches for the next few produced slots: each slot line
+  /// was written by the producer core moments ago, so the consumer's
+  /// first touch is a cross-core transfer (~an L2 miss). Prefetching
+  /// while the caller processes the current record hides that latency.
+  const DiftEvent* front() {
+    const u64 c = consumed_.load(std::memory_order_relaxed);
+    if (c == cached_produced_) {
+      cached_produced_ = produced_.load(std::memory_order_acquire);
+      if (c == cached_produced_) return nullptr;
+    }
+#if defined(__GNUC__) || defined(__clang__)
+    const u64 ahead = cached_produced_ - c;
+    for (u64 k = 1; k < (ahead < 4 ? ahead : 4); ++k) {
+      __builtin_prefetch(&slots_[(c + k) & mask_], 0, 3);
+    }
+#endif
+    return &slots_[c & mask_];
+  }
+
+  /// Blocking front(): yields until a record is available.
+  const DiftEvent* front_wait() {
+    const DiftEvent* e = front();
+    while (!e) {
+      ++consumer_waits_;
+      std::this_thread::yield();
+      e = front();
+    }
+    return e;
+  }
+
+  /// Releases the record returned by front(). Publishing this is what
+  /// lets the producer's drain()/push() make progress — only call it
+  /// once all side effects of processing the record have landed.
+  void pop_front() {
+    const u64 c = consumed_.load(std::memory_order_relaxed);
+    consumed_.store(c + 1, std::memory_order_release);
+  }
+
+  /// Producer-side stats, plus the consumer-wait count. Only meaningful
+  /// once the consumer thread has joined (or from a quiesced ring).
+  TraceRingStats stats() const {
+    TraceRingStats s = stats_;
+    s.consumer_waits = consumer_waits_;
+    return s;
+  }
+
+  static constexpr size_t kDefaultCapacity = 1u << 14;  // 1 MiB of slots
+
+ private:
+  size_t cap_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<DiftEvent[]> slots_;
+
+  // Producer-owned line: produced counter + cached view of consumed.
+  alignas(64) std::atomic<u64> produced_{0};
+  u64 cached_consumed_ = 0;
+  TraceRingStats stats_;
+
+  // Consumer-owned line.
+  alignas(64) std::atomic<u64> consumed_{0};
+  u64 cached_produced_ = 0;
+  u64 consumer_waits_ = 0;
+};
+
+/// Human-readable record kind / record dump (trace_ring.cpp), for tests
+/// and debugging.
+const char* dift_event_kind_name(u8 kind);
+std::string describe(const DiftEvent& e);
+
+}  // namespace faros::vm

@@ -10,8 +10,10 @@
 
 #include "attacks/corpus.h"
 #include "attacks/programs.h"
+#include "core/rules.h"
 #include "farm/farm.h"
 #include "farm/results.h"
+#include "farm/triage_cli.h"
 #include "os/machine.h"
 
 namespace faros {
@@ -440,6 +442,151 @@ TEST(Farm, CancelMidQueueDrainsCleanly) {
     }
     EXPECT_EQ(report.metrics.ok + report.metrics.cancelled, 120u);
   }
+}
+
+TEST(Farm, AsyncAndSyncDiftProduceIdenticalStreams) {
+  // The decoupled producer/consumer pipeline (core/pipeline.h) must be
+  // observably indistinguishable from the historical inline engine:
+  // verdicts, findings, per-rule eval counters, provenance stats — the
+  // whole job line. A tiny ring forces the backpressure path through the
+  // same equivalence.
+  auto jobs = corpus_jobs(attacks::injection_corpus());
+
+  FarmConfig async_cfg;
+  async_cfg.async_dift = true;
+  std::string async_out = farm::results_jsonl(Farm(async_cfg).run(jobs));
+
+  FarmConfig sync_cfg;
+  sync_cfg.async_dift = false;
+  std::string sync_out = farm::results_jsonl(Farm(sync_cfg).run(jobs));
+
+  FarmConfig tiny_ring_cfg;
+  tiny_ring_cfg.async_dift = true;
+  tiny_ring_cfg.ring_capacity = 8;
+  std::string tiny_out = farm::results_jsonl(Farm(tiny_ring_cfg).run(jobs));
+
+  EXPECT_EQ(async_out, sync_out);
+  EXPECT_EQ(async_out, tiny_out);
+  ASSERT_FALSE(async_out.empty());
+  EXPECT_NE(async_out.find("\"verdict\":\"TP\""), std::string::npos);
+  EXPECT_NE(async_out.find("\"rules\":"), std::string::npos);
+}
+
+TEST(Farm, MultiPolicyFanOutMatchesSeparateRuns) {
+  // Record-once/analyze-many: one replay teed to extra policy engines must
+  // produce, per set, exactly what a separate farm run with that set as
+  // the primary ruleset would — in both async (trace tee) and sync
+  // (re-replay) modes.
+  auto jobs = corpus_jobs(attacks::injection_corpus());
+  jobs.resize(4);
+  std::vector<core::RuleSpec> alt = core::builtin_rules(false, true, true);
+
+  auto fan_out = [&](bool async) {
+    FarmConfig cfg;
+    cfg.async_dift = async;
+    cfg.extra_policies.push_back(farm::PolicySet{"alt", alt});
+    return Farm(cfg).run(jobs);
+  };
+  farm::TriageReport async_rep = fan_out(true);
+  farm::TriageReport sync_rep = fan_out(false);
+
+  FarmConfig alone_cfg;
+  alone_cfg.engine_opts.rules = alt;
+  farm::TriageReport alone = Farm(alone_cfg).run(jobs);
+
+  ASSERT_EQ(async_rep.results.size(), 4u);
+  ASSERT_EQ(sync_rep.results.size(), 4u);
+  for (size_t i = 0; i < async_rep.results.size(); ++i) {
+    const JobResult& a = async_rep.results[i];
+    EXPECT_EQ(farm::job_jsonl(a), farm::job_jsonl(sync_rep.results[i]));
+    ASSERT_EQ(a.policy_runs.size(), 1u) << a.name;
+    EXPECT_EQ(a.policy_runs[0].name, "alt");
+    const JobResult& solo = alone.results[i];
+    EXPECT_EQ(a.policy_runs[0].flagged, solo.flagged) << a.name;
+    EXPECT_EQ(a.policy_runs[0].findings, solo.findings) << a.name;
+    EXPECT_EQ(a.policy_runs[0].suppressed, solo.suppressed) << a.name;
+    EXPECT_EQ(a.policy_runs[0].policies, solo.policies) << a.name;
+    // The primary verdict is untouched by fan-out.
+    EXPECT_NE(farm::job_jsonl(a).find("\"policy_runs\":"), std::string::npos);
+  }
+  // Streams without extra policies never carry the field.
+  FarmConfig plain_cfg;
+  farm::TriageReport plain = Farm(plain_cfg).run(jobs);
+  EXPECT_EQ(farm::job_jsonl(plain.results[0]).find("policy_runs"),
+            std::string::npos);
+}
+
+TEST(TriageCli, PairedFlagsParseAndRoundTrip) {
+  using farm::parse_triage_cli;
+  using farm::render_triage_cli;
+
+  // Defaults.
+  farm::TriageCliResult def = parse_triage_cli({});
+  ASSERT_TRUE(def.ok()) << def.error;
+  EXPECT_TRUE(def.opts.farm.async_dift);
+  EXPECT_TRUE(def.opts.farm.snapshot);
+  EXPECT_TRUE(def.opts.farm.engine_opts.block_cache);
+  EXPECT_TRUE(def.opts.farm.engine_opts.summary_elide);
+  EXPECT_FALSE(def.opts.farm.static_prefilter);
+  EXPECT_FALSE(def.opts.farm.static_prune);
+
+  // Every boolean feature has a working --X and --no-X spelling.
+  const char* features[] = {"block-cache", "summary-elide", "snapshot",
+                            "static-prefilter", "static-prune", "async-dift",
+                            "quiet"};
+  for (const char* f : features) {
+    auto on = parse_triage_cli({std::string("--") + f});
+    auto off = parse_triage_cli({std::string("--no-") + f});
+    ASSERT_TRUE(on.ok()) << f << ": " << on.error;
+    ASSERT_TRUE(off.ok()) << f << ": " << off.error;
+    // The two spellings must land on opposite values of the same knob:
+    // their rendered canonical argv differs in exactly that flag.
+    EXPECT_NE(render_triage_cli(on.opts), render_triage_cli(off.opts)) << f;
+  }
+
+  // --sync-dift is the alias for --no-async-dift.
+  auto sync1 = parse_triage_cli({"--sync-dift"});
+  auto sync2 = parse_triage_cli({"--no-async-dift"});
+  ASSERT_TRUE(sync1.ok() && sync2.ok());
+  EXPECT_FALSE(sync1.opts.farm.async_dift);
+  EXPECT_EQ(render_triage_cli(sync1.opts), render_triage_cli(sync2.opts));
+
+  // Full-surface round trip: parse → render → parse reproduces the config.
+  std::vector<std::string> argv = {
+      "--workers", "8", "--jobs", "20", "--filter", "jit", "--category",
+      "injection", "--timeout-ms", "1234", "--budget", "99", "--out",
+      "r.jsonl", "--metrics", "m.jsonl", "--graph-out", "graphs",
+      "--ring-capacity", "16", "--policies", "a.json,b.json,c.json",
+      "--no-block-cache", "--no-summary-elide", "--no-snapshot",
+      "--static-prefilter", "--static-prune", "--sync-dift", "--quiet"};
+  farm::TriageCliResult once = parse_triage_cli(argv);
+  ASSERT_TRUE(once.ok()) << once.error;
+  EXPECT_EQ(once.opts.farm.workers, 8u);
+  EXPECT_EQ(once.opts.farm.timeout_ms, 1234u);
+  EXPECT_EQ(once.opts.farm.ring_capacity, 16u);
+  EXPECT_FALSE(once.opts.farm.engine_opts.block_cache);
+  EXPECT_FALSE(once.opts.farm.machine.kernel.block_cache);
+  EXPECT_FALSE(once.opts.farm.async_dift);
+  ASSERT_EQ(once.opts.policy_paths.size(), 3u);
+  EXPECT_EQ(once.opts.policy_paths[1], "b.json");
+
+  farm::TriageCliResult twice = parse_triage_cli(render_triage_cli(once.opts));
+  ASSERT_TRUE(twice.ok()) << twice.error;
+  EXPECT_EQ(render_triage_cli(once.opts), render_triage_cli(twice.opts));
+
+  // Errors: unknown flags and missing values are reported, not swallowed.
+  EXPECT_FALSE(parse_triage_cli({"--bogus"}).ok());
+  EXPECT_FALSE(parse_triage_cli({"--workers"}).ok());
+  EXPECT_FALSE(parse_triage_cli({"--workers", "many"}).ok());
+  EXPECT_FALSE(parse_triage_cli({"--filter"}).ok());
+
+  // The grouped help names every paired feature.
+  std::string usage = farm::triage_usage();
+  for (const char* f : features) {
+    EXPECT_NE(usage.find(std::string("--") + f), std::string::npos) << f;
+    EXPECT_NE(usage.find(std::string("--no-") + f), std::string::npos) << f;
+  }
+  EXPECT_NE(usage.find("--sync-dift"), std::string::npos);
 }
 
 TEST(FarmResults, JsonlIsWellFormedAndEscaped) {

@@ -99,7 +99,7 @@ TEST(ObsNames, UniqueNonEmptyAndStable) {
   EXPECT_STREQ(obs::tmr_name(Tmr::kRecord), "record_ns");
 }
 
-TEST(ObsNames, AppendCounterFieldsEmitsEveryCounterInOrder) {
+TEST(ObsNames, AppendCounterFieldsEmitsDeterministicPrefixInOrder) {
   MetricSink sink;
   sink.add(Ctr::kLoads, 3);
   MetricSnapshot s = sink.snapshot();
@@ -107,7 +107,7 @@ TEST(ObsNames, AppendCounterFieldsEmitsEveryCounterInOrder) {
   obs::append_counter_fields(w, s);
   std::string out = w.str();
   size_t last = 0;
-  for (u32 i = 0; i < obs::kCtrCount; ++i) {
+  for (u32 i = 0; i < obs::kFirstNondetCtr; ++i) {
     std::string key = std::string("\"") +
                       obs::ctr_name(static_cast<Ctr>(i)) + "\":";
     size_t pos = out.find(key, last);
@@ -116,6 +116,14 @@ TEST(ObsNames, AppendCounterFieldsEmitsEveryCounterInOrder) {
   }
   EXPECT_NE(out.find("\"loads\":3"), std::string::npos);
   EXPECT_EQ(out.find("record_ns"), std::string::npos);  // no timers
+  // The nondeterministic tail (thread-scheduling artifacts: ring stalls,
+  // waits, depth) must never enter the serialised schema.
+  for (u32 i = obs::kFirstNondetCtr; i < obs::kCtrCount; ++i) {
+    std::string key = std::string("\"") +
+                      obs::ctr_name(static_cast<Ctr>(i)) + "\":";
+    EXPECT_EQ(out.find(key), std::string::npos)
+        << key << " leaked into the deterministic schema";
+  }
 }
 
 #ifndef FAROS_OBS_DISABLED
@@ -220,11 +228,17 @@ TEST(ObsDeterminism, TwoIdenticalReplaysProduceIdenticalCounters) {
   ASSERT_EQ(r2.status, farm::JobStatus::kOk) << r2.error;
   ASSERT_TRUE(r1.metrics.collected);
   ASSERT_TRUE(r2.metrics.collected);
-  for (u32 i = 0; i < obs::kCtrCount; ++i) {
+  // Only the deterministic prefix is pinned: the tail counts scheduling
+  // artifacts (ring producer stalls / consumer waits / depth) that two
+  // async replays legitimately disagree on.
+  for (u32 i = 0; i < obs::kFirstNondetCtr; ++i) {
     EXPECT_EQ(r1.metrics.counters[i], r2.metrics.counters[i])
         << obs::ctr_name(static_cast<Ctr>(i));
   }
   EXPECT_GT(r1.metrics[Ctr::kInsnsRetired], 0u);
+  // The async pipeline ran: the trace ring carried records (elided blocks
+  // compress to one bulk record each, so no fixed relation to insns).
+  EXPECT_GT(r1.metrics[Ctr::kRingRecords], 0u);
 }
 
 }  // namespace

@@ -10,8 +10,16 @@
 //   faros_triage --metrics metrics.jsonl # obs counter stream per job
 //   faros_triage --list                  # print the catalogue and exit
 //   faros_triage --policies my.json      # replace the built-in ruleset
+//   faros_triage --policies a.json,b.json
+//                                        # record once, analyze under every
+//                                        # set (policy_runs JSONL field)
+//   faros_triage --sync-dift             # historical inline engine (A/B)
 //   faros_triage --list-policies         # print the effective ruleset JSON
 //   faros_triage --graph-out graphs/     # one .fpg provenance graph per job
+//
+// Argument parsing lives in src/farm/triage_cli.{h,cpp} so tests can drive
+// the exact parser this binary uses; this file is only corpus assembly,
+// streaming and the scored summary.
 //
 // Loading a policy file (or asking for --category policy) also enumerates
 // the policy corpus — scenarios like multi_stage_c2 whose ground truth
@@ -25,8 +33,6 @@
 // Exit code: 0 when every job completed (flagged or clean), 1 on harness
 // errors / timeouts / bad usage.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -34,144 +40,32 @@
 #include "core/rules.h"
 #include "farm/farm.h"
 #include "farm/results.h"
+#include "farm/triage_cli.h"
 
 using namespace faros;
 
-namespace {
-
-void usage() {
-  std::fprintf(stderr,
-               "usage: faros_triage [options]\n"
-               "  --workers N      worker threads (default: hardware)\n"
-               "  --jobs N         run at most N jobs (default: all)\n"
-               "  --filter STR     only jobs whose name contains STR\n"
-               "  --category STR   only jobs in this category\n"
-               "                   (injection | jit | malware | benign |\n"
-               "                   policy)\n"
-               "  --timeout-ms N   per-job wall-clock deadline (default "
-               "60000; 0 = none)\n"
-               "  --budget N       per-job instruction budget override\n"
-               "  --out PATH       write JSONL records + summary to PATH\n"
-               "  --metrics PATH   write per-job obs counter JSONL to PATH\n"
-               "                   (or set FAROS_METRICS_JSON)\n"
-               "  --no-block-cache\n"
-               "                   disable the block-translation cache in\n"
-               "                   both machines and the engine's elision\n"
-               "                   fast path (detection verdicts are\n"
-               "                   byte-identical either way; CI pins this)\n"
-               "  --no-summary-elide\n"
-               "                   ignore static summary elide hints: only\n"
-               "                   per-opcode taint-inert blocks run the\n"
-               "                   uninstrumented fast body (detection\n"
-               "                   verdicts are byte-identical either way;\n"
-               "                   CI pins this)\n"
-               "  --snapshot / --no-snapshot\n"
-               "                   boot the guest once and run each job as a\n"
-               "                   copy-on-write clone of the frozen image\n"
-               "                   (default: on; verdicts are byte-identical\n"
-               "                   either way; CI pins this)\n"
-               "  --static-prefilter\n"
-               "                   run the zero-execution static analyzer\n"
-               "                   (src/sa) per job before record/replay and\n"
-               "                   score it next to the dynamic verdicts\n"
-               "  --static-prune   mask rule triggers the static analyzer\n"
-               "                   proved unreachable per job, skipping their\n"
-               "                   hot-path input computation (detection and\n"
-               "                   per-rule eval counts are byte-identical\n"
-               "                   either way; CI pins this)\n"
-               "  --policies PATH  load the confluence ruleset from a JSON\n"
-               "                   policy file (replaces the built-ins and\n"
-               "                   adds the policy-corpus jobs)\n"
-               "  --graph-out DIR  write one provenance-graph artifact per\n"
-               "                   job to DIR/<job>.fpg (src/graph format;\n"
-               "                   byte-identical for any --workers)\n"
-               "  --list-policies  print the effective ruleset as policy-file\n"
-               "                   JSON and exit\n"
-               "  --list           print the job catalogue and exit\n"
-               "  --quiet          no per-job console lines\n");
-}
-
-bool parse_u64(const char* s, u64* out) {
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(s, &end, 10);
-  if (!end || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  farm::FarmConfig cfg;
-  std::string filter, category, out_path, metrics_path, policies_path;
-  u64 max_jobs = 0, budget = 0, workers = 0;
-  bool list_only = false, list_policies = false, quiet = false;
-  if (const char* env = std::getenv("FAROS_METRICS_JSON")) metrics_path = env;
-
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&](u64* out) {
-      if (i + 1 >= argc || !parse_u64(argv[++i], out)) {
-        std::fprintf(stderr, "faros_triage: %s needs a number\n", arg.c_str());
-        usage();
-        std::exit(1);
-      }
-    };
-    if (arg == "--workers") next(&workers);
-    else if (arg == "--jobs") next(&max_jobs);
-    else if (arg == "--timeout-ms") next(&cfg.timeout_ms);
-    else if (arg == "--budget") next(&budget);
-    else if (arg == "--filter" && i + 1 < argc) filter = argv[++i];
-    else if (arg == "--category" && i + 1 < argc) category = argv[++i];
-    else if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
-    else if (arg == "--metrics" && i + 1 < argc) metrics_path = argv[++i];
-    else if (arg == "--policies" && i + 1 < argc) policies_path = argv[++i];
-    else if (arg == "--graph-out" && i + 1 < argc) cfg.graph_out = argv[++i];
-    else if (arg == "--no-block-cache") {
-      cfg.machine.kernel.block_cache = false;
-      cfg.engine_opts.block_cache = false;
-    }
-    else if (arg == "--no-summary-elide") {
-      cfg.engine_opts.summary_elide = false;
-    }
-    else if (arg == "--snapshot") cfg.snapshot = true;
-    else if (arg == "--no-snapshot") cfg.snapshot = false;
-    else if (arg == "--static-prefilter") cfg.static_prefilter = true;
-    else if (arg == "--static-prune") cfg.static_prune = true;
-    else if (arg == "--list-policies") list_policies = true;
-    else if (arg == "--list") list_only = true;
-    else if (arg == "--quiet") quiet = true;
-    else if (arg == "--help" || arg == "-h") { usage(); return 0; }
-    else {
-      std::fprintf(stderr, "faros_triage: unknown option '%s'\n", arg.c_str());
-      usage();
-      return 1;
-    }
+  farm::TriageCliResult cli =
+      farm::parse_triage_cli({argv + 1, argv + argc});
+  if (!cli.ok()) {
+    std::fprintf(stderr, "faros_triage: %s\n%s", cli.error.c_str(),
+                 farm::triage_usage().c_str());
+    return 1;
   }
-  cfg.workers = static_cast<u32>(workers);
-
-  if (!policies_path.empty()) {
-    FILE* pf = std::fopen(policies_path.c_str(), "rb");
-    if (!pf) {
-      std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
-                   policies_path.c_str());
-      return 1;
-    }
-    std::string text;
-    char buf[4096];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), pf)) > 0) text.append(buf, n);
-    std::fclose(pf);
-    auto rules = core::parse_ruleset_json(text);
-    if (!rules.ok()) {
-      std::fprintf(stderr, "faros_triage: %s: %s\n", policies_path.c_str(),
-                   rules.error().message.c_str());
-      return 1;
-    }
-    cfg.engine_opts.rules = std::move(rules).take();
+  farm::TriageCliOptions& opt = cli.opts;
+  if (opt.help) {
+    std::fprintf(stderr, "%s", farm::triage_usage().c_str());
+    return 0;
   }
 
-  if (list_policies) {
+  std::string perr = farm::load_policy_files(opt);
+  if (!perr.empty()) {
+    std::fprintf(stderr, "faros_triage: %s\n", perr.c_str());
+    return 1;
+  }
+  farm::FarmConfig& cfg = opt.farm;
+
+  if (opt.list_policies) {
     // Print the ruleset the engine would actually run — the policy file if
     // one was loaded, otherwise the built-ins selected by the (default)
     // engine option toggles — in policy-file JSON, so the output can be
@@ -187,22 +81,24 @@ int main(int argc, char** argv) {
   }
 
   std::vector<attacks::CorpusEntry> catalogue = attacks::full_corpus();
-  if (!policies_path.empty() || category == "policy") {
+  if (!opt.policy_paths.empty() || opt.category == "policy") {
     // Policy-dependent scenarios only make sense when the ruleset that
     // defines their ground truth is in play (or when asked for by name).
     for (auto& e : attacks::policy_corpus()) catalogue.push_back(std::move(e));
   }
   std::vector<farm::JobSpec> jobs;
   for (auto& e : catalogue) {
-    if (!filter.empty() && e.name.find(filter) == std::string::npos) continue;
-    if (!category.empty() && e.category != category) continue;
-    if (max_jobs && jobs.size() >= max_jobs) break;
+    if (!opt.filter.empty() && e.name.find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    if (!opt.category.empty() && e.category != opt.category) continue;
+    if (opt.max_jobs && jobs.size() >= opt.max_jobs) break;
     farm::JobSpec spec;
     spec.name = e.name;
     spec.category = e.category;
     spec.expect_flagged = e.expect_flagged;
     spec.make = e.make;
-    spec.budget_override = budget;
+    spec.budget_override = opt.budget;
     jobs.push_back(std::move(spec));
   }
   if (jobs.empty()) {
@@ -210,7 +106,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (list_only) {
+  if (opt.list_only) {
     std::printf("%-36s %-10s %s\n", "job", "category", "expected");
     for (const auto& j : jobs) {
       std::printf("%-36s %-10s %s\n", j.name.c_str(), j.category.c_str(),
@@ -221,20 +117,20 @@ int main(int argc, char** argv) {
   }
 
   FILE* out = nullptr;
-  if (!out_path.empty()) {
-    out = std::fopen(out_path.c_str(), "w");
+  if (!opt.out_path.empty()) {
+    out = std::fopen(opt.out_path.c_str(), "w");
     if (!out) {
       std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
-                   out_path.c_str());
+                   opt.out_path.c_str());
       return 1;
     }
   }
   FILE* metrics_out = nullptr;
-  if (!metrics_path.empty()) {
-    metrics_out = std::fopen(metrics_path.c_str(), "w");
+  if (!opt.metrics_path.empty()) {
+    metrics_out = std::fopen(opt.metrics_path.c_str(), "w");
     if (!metrics_out) {
       std::fprintf(stderr, "faros_triage: cannot open '%s'\n",
-                   metrics_path.c_str());
+                   opt.metrics_path.c_str());
       if (out) std::fclose(out);
       return 1;
     }
@@ -243,6 +139,7 @@ int main(int argc, char** argv) {
   // Stream each record the moment the reorder buffer releases it: the
   // console and the JSONL file both see stable job-id order live.
   const size_t total = jobs.size();  // jobs is moved into run() below
+  const bool quiet = opt.quiet;
   cfg.on_result = [&](const farm::JobResult& r) {
     if (out) std::fprintf(out, "%s\n", farm::job_jsonl(r).c_str());
     if (metrics_out && r.metrics.collected) {
